@@ -1,0 +1,156 @@
+//! Substrate micro-benchmarks: CAN routing vs INSCAN finger routing
+//! (the machinery behind Table III's message-cost scaling), INSCAN-RQ
+//! flooding (Fig. 1 strawman), index diffusion (Fig. 2–3) and the PSM
+//! scheduler's hot operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use soc_can::{route_path, CanOverlay};
+use soc_inscan::{inscan_route, range_query, IndexTables};
+use soc_psm::{NodeExec, PsmConfig, RunningTask};
+use soc_types::{NodeId, ResVec, TaskId};
+use std::hint::black_box;
+
+fn setup(n: usize, dim: usize, seed: u64) -> (CanOverlay, IndexTables, SmallRng) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let ov = CanOverlay::bootstrap(dim, n, n, &mut rng);
+    let mut tables = IndexTables::new(dim, n, n);
+    tables.refresh_all(&ov, &mut rng);
+    (ov, tables, rng)
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("routing");
+    for &n in &[256usize, 1024] {
+        let (ov, tables, mut rng) = setup(n, 2, 42);
+        let points: Vec<ResVec> = (0..64)
+            .map(|_| soc_can::overlay::random_point(2, &mut rng))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("greedy_can", n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % points.len();
+                black_box(route_path(&ov, NodeId(0), &points[i], 10_000))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("inscan_fingers", n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % points.len();
+                black_box(inscan_route(&ov, &tables, NodeId(0), &points[i], 10_000))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_inscan_rq(c: &mut Criterion) {
+    // Fig. 1 / §III-A: INSCAN-RQ flood cost explodes as the range widens.
+    let mut g = c.benchmark_group("inscan_rq");
+    let (ov, tables, _rng) = setup(512, 2, 43);
+    for &corner in &[0.9f64, 0.5, 0.1] {
+        let v = ResVec::from_slice(&[corner, corner]);
+        let hi = ResVec::splat(2, 1.0);
+        g.bench_with_input(
+            BenchmarkId::new("flood", format!("range_from_{corner}")),
+            &corner,
+            |b, _| b.iter(|| black_box(range_query(&ov, &tables, NodeId(0), &v, &hi))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_diffusion(c: &mut Criterion) {
+    // Fig. 2/3: one diffusion round, SID vs HID.
+    use pidcan::{simulate_diffusion, DiffusionMethod};
+    let mut g = c.benchmark_group("diffusion");
+    let (ov, tables, mut rng) = setup(512, 2, 44);
+    let origin = ov.owner_of(&ResVec::splat(2, 1.0));
+    g.bench_function("hid_round", |b| {
+        b.iter(|| {
+            black_box(simulate_diffusion(
+                &ov,
+                &tables,
+                origin,
+                DiffusionMethod::Hopping,
+                2,
+                &mut rng,
+            ))
+        })
+    });
+    g.bench_function("sid_round", |b| {
+        b.iter(|| {
+            black_box(simulate_diffusion(
+                &ov,
+                &tables,
+                origin,
+                DiffusionMethod::Spreading,
+                2,
+                &mut rng,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_psm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("psm");
+    let cap = ResVec::from_slice(&[25.6, 80.0, 10.0, 240.0, 4096.0]);
+    g.bench_function("allocation_eq1", |b| {
+        let mut node = NodeExec::new(cap, PsmConfig::default());
+        for i in 0..8 {
+            node.add_task(
+                0,
+                RunningTask::with_duration(
+                    TaskId(i),
+                    ResVec::from_slice(&[2.0, 8.0, 1.0, 20.0, 256.0]),
+                    3000.0,
+                    3,
+                    0,
+                    0,
+                ),
+            );
+        }
+        b.iter(|| black_box(node.allocations()))
+    });
+    g.bench_function("completion_prediction", |b| {
+        let mut node = NodeExec::new(cap, PsmConfig::default());
+        for i in 0..8 {
+            node.add_task(
+                0,
+                RunningTask::with_duration(
+                    TaskId(i),
+                    ResVec::from_slice(&[2.0, 8.0, 1.0, 20.0, 256.0]),
+                    3000.0,
+                    3,
+                    0,
+                    0,
+                ),
+            );
+        }
+        b.iter(|| black_box(node.next_completion(0)))
+    });
+    g.bench_function("churn_join_leave", |b| {
+        let mut rng = SmallRng::seed_from_u64(45);
+        let mut ov = CanOverlay::bootstrap(5, 256, 257, &mut rng);
+        // One spare id cycles through leave → re-join so the id space stays
+        // bounded across Criterion's millions of iterations.
+        let mut spare = NodeId(256);
+        b.iter(|| {
+            ov.join(spare, &soc_can::overlay::random_point(5, &mut rng));
+            let victim_i = rng.random_range(0..ov.len());
+            let victim = ov.live_nodes().nth(victim_i).unwrap();
+            ov.leave(victim);
+            spare = victim;
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_routing, bench_inscan_rq, bench_diffusion, bench_psm
+}
+criterion_main!(benches);

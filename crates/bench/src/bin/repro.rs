@@ -1,0 +1,181 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro fig4              # Fig. 4(a)(b): SID vs Newscast vs KHDN, λ=0.84/0.25
+//! repro fig5 --lambda 1.0 # Fig. 5 (λ=1); 0.5 → Fig. 6; 0.25 → Fig. 7
+//! repro fig8              # Fig. 8: HID-CAN under churn
+//! repro table3            # Table III: HID-CAN scalability
+//! repro all               # everything above
+//! ```
+//!
+//! Options: `--scale full|smoke` (default smoke), `--seed N` (default 1).
+//! Full scale reproduces §IV-A exactly (2000–12000 nodes, 24 simulated
+//! hours) and takes minutes per figure; smoke preserves the shapes in
+//! seconds.
+
+use soc_bench::{
+    fig4, fig5, fig8, fig8_checkpointing, print_fig8, print_series, print_table3, table3, Scale,
+};
+
+struct Args {
+    cmd: String,
+    scale: Scale,
+    seed: u64,
+    lambda: f64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        cmd: String::new(),
+        scale: Scale::smoke(),
+        seed: 1,
+        lambda: 1.0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().unwrap_or_default();
+                args.scale = match v.as_str() {
+                    "full" => Scale::full(),
+                    "smoke" => Scale::smoke(),
+                    other => {
+                        eprintln!("unknown scale {other:?} (use full|smoke)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--seed needs an integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--lambda" => {
+                args.lambda = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--lambda needs a number");
+                        std::process::exit(2);
+                    });
+            }
+            cmd if args.cmd.is_empty() && !cmd.starts_with('-') => {
+                args.cmd = cmd.to_string();
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.cmd.is_empty() {
+        eprintln!("usage: repro <fig4|fig5|fig8|table3|ckpt|all> [--scale full|smoke] [--seed N] [--lambda L]");
+        std::process::exit(2);
+    }
+    args
+}
+
+fn run_fig4(scale: Scale, seed: u64) {
+    println!("== Fig. 4: contrary results under different query ranges ==");
+    for (lambda, reports) in fig4(scale, seed) {
+        println!("\n-- Fig. 4 (demand ratio = {lambda}) — Throughput Ratio --");
+        println!("{}", print_series(&reports, "t"));
+        for r in &reports {
+            println!("# {}", r.summary());
+        }
+    }
+}
+
+fn run_fig5(scale: Scale, lambda: f64, seed: u64) {
+    let fig = match lambda {
+        l if (l - 1.0).abs() < 1e-9 => "Fig. 5 (λ=1)",
+        l if (l - 0.5).abs() < 1e-9 => "Fig. 6 (λ=0.5)",
+        l if (l - 0.25).abs() < 1e-9 => "Fig. 7 (λ=0.25)",
+        _ => "Fig. 5-series (custom λ)",
+    };
+    println!("== {fig}: efficacy of resource discovery protocols ==");
+    let reports = fig5(scale, lambda, seed);
+    println!("\n-- (a) throughput ratio --");
+    println!("{}", print_series(&reports, "t"));
+    println!("-- (b) failed task ratio --");
+    println!("{}", print_series(&reports, "f"));
+    println!("-- (c) fairness index --");
+    println!("{}", print_series(&reports, "fair"));
+    for r in &reports {
+        println!("# {}", r.summary());
+    }
+}
+
+fn run_fig8(scale: Scale, seed: u64) {
+    println!("== Fig. 8: HID-CAN under different node churning rates (λ=0.5) ==");
+    let rows = fig8(scale, seed);
+    println!("{}", print_fig8(&rows));
+    println!("-- (a) throughput ratio series --");
+    let reports: Vec<_> = rows.iter().map(|(_, r)| r.clone()).collect();
+    println!("{}", print_series(&reports, "t"));
+    println!("-- (b) failed task ratio series --");
+    println!("{}", print_series(&reports, "f"));
+    println!("-- (c) fairness index series --");
+    println!("{}", print_series(&reports, "fair"));
+}
+
+fn run_ckpt(scale: Scale, seed: u64) {
+    println!("== Extension (§VI future work): checkpoint fault tolerance under churn ==");
+    println!("churn	T-plain	T-ckpt	killed-plain	killed-ckpt	resubmits");
+    for (deg, plain, ckpt) in fig8_checkpointing(scale, seed) {
+        println!(
+            "{:.0}%	{:.3}	{:.3}	{}	{}	{}",
+            deg * 100.0,
+            plain.t_ratio,
+            ckpt.t_ratio,
+            plain.killed,
+            ckpt.killed,
+            ckpt.checkpoint_resubmits
+        );
+    }
+    println!();
+}
+
+fn run_table3(scale: Scale, seed: u64) {
+    println!("== Table III: system scalability of HID-CAN ==");
+    let reports = table3(scale, seed);
+    println!("{}", print_table3(&reports));
+    for r in &reports {
+        println!("# {}", r.summary());
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    match args.cmd.as_str() {
+        "fig4" => run_fig4(args.scale, args.seed),
+        "fig5" | "fig6" | "fig7" => {
+            let lambda = match args.cmd.as_str() {
+                "fig6" => 0.5,
+                "fig7" => 0.25,
+                _ => args.lambda,
+            };
+            run_fig5(args.scale, lambda, args.seed);
+        }
+        "fig8" => run_fig8(args.scale, args.seed),
+        "ckpt" => run_ckpt(args.scale, args.seed),
+        "table3" => run_table3(args.scale, args.seed),
+        "all" => {
+            run_fig4(args.scale, args.seed);
+            for l in [1.0, 0.5, 0.25] {
+                run_fig5(args.scale, l, args.seed);
+            }
+            run_fig8(args.scale, args.seed);
+            run_table3(args.scale, args.seed);
+            run_ckpt(args.scale, args.seed);
+        }
+        other => {
+            eprintln!("unknown command {other:?}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Benchmark/repro harness: one entry point per paper table & figure.
+//!
+//! Each `figN`/`tableN` function builds the matching §IV experiment from a
+//! [`Scale`] (full paper scale or a fast smoke scale), runs every protocol
+//! line in the figure and returns the reports; `print_*` helpers render the
+//! same rows/series the paper plots. The `repro` binary exposes these on
+//! the command line; the Criterion benches call the same code at smoke
+//! scale so `cargo bench` regenerates every figure's shape.
+
+use soc_sim::{ProtocolChoice, RunReport, Scenario};
+
+/// Experiment sizing.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Node count for Fig. 4–8 (Table III sweeps its own counts).
+    pub nodes: usize,
+    /// Simulated hours (paper: 24).
+    pub hours: u64,
+    /// Mean task inter-arrival per node (paper: 3000 s).
+    pub mean_arrival_s: f64,
+    /// Mean task duration (paper: 3000 s).
+    pub mean_duration_s: f64,
+    /// Node counts for the Table III scalability sweep.
+    pub table3_nodes: &'static [usize],
+}
+
+impl Scale {
+    /// The paper's full configuration (§IV-A). A full figure takes minutes.
+    pub fn full() -> Self {
+        Scale {
+            nodes: 2000,
+            hours: 24,
+            mean_arrival_s: 3000.0,
+            mean_duration_s: 3000.0,
+            table3_nodes: &[2000, 4000, 6000, 8000, 10000, 12000],
+        }
+    }
+
+    /// Reduced scale preserving the shape (used by tests and `cargo bench`).
+    pub fn smoke() -> Self {
+        Scale {
+            nodes: 300,
+            hours: 6,
+            mean_arrival_s: 1200.0,
+            mean_duration_s: 1200.0,
+            table3_nodes: &[300, 600, 900],
+        }
+    }
+
+    /// Minimal scale for Criterion timing loops (each run ≲ 100 ms).
+    pub fn bench() -> Self {
+        Scale {
+            nodes: 150,
+            hours: 2,
+            mean_arrival_s: 600.0,
+            mean_duration_s: 600.0,
+            table3_nodes: &[100, 200, 300],
+        }
+    }
+
+    /// Base scenario with this scale applied.
+    pub fn scenario(&self, p: ProtocolChoice) -> Scenario {
+        let mut sc = Scenario::paper(p)
+            .nodes(self.nodes)
+            .hours(self.hours);
+        sc.mean_arrival_s = self.mean_arrival_s;
+        sc.mean_duration_s = self.mean_duration_s;
+        sc
+    }
+}
+
+/// Fig. 4: SID-CAN vs Newscast vs KHDN-CAN at λ = 0.84 and λ = 0.25
+/// (throughput-ratio series). Returns `(λ, reports)` pairs.
+pub fn fig4(scale: Scale, seed: u64) -> Vec<(f64, Vec<RunReport>)> {
+    let protos = [
+        ProtocolChoice::Newscast,
+        ProtocolChoice::Sid,
+        ProtocolChoice::Khdn,
+    ];
+    [0.84, 0.25]
+        .into_iter()
+        .map(|lambda| {
+            let reports = protos
+                .iter()
+                .map(|&p| scale.scenario(p).lambda(lambda).seed(seed).run())
+                .collect();
+            (lambda, reports)
+        })
+        .collect()
+}
+
+/// Fig. 5/6/7: the six protocols at one demand ratio (λ = 1, 0.5, 0.25),
+/// reporting T-Ratio, F-Ratio and fairness series.
+pub fn fig5(scale: Scale, lambda: f64, seed: u64) -> Vec<RunReport> {
+    ProtocolChoice::FIG5
+        .iter()
+        .map(|&p| scale.scenario(p).lambda(lambda).seed(seed).run())
+        .collect()
+}
+
+/// Fig. 8: HID-CAN at λ = 0.5 under churn degrees 0/25/50/75/95%.
+pub fn fig8(scale: Scale, seed: u64) -> Vec<(f64, RunReport)> {
+    [0.0, 0.25, 0.5, 0.75, 0.95]
+        .into_iter()
+        .map(|deg| {
+            let r = scale
+                .scenario(ProtocolChoice::Hid)
+                .lambda(0.5)
+                .churn(deg)
+                .seed(seed)
+                .run();
+            (deg, r)
+        })
+        .collect()
+}
+
+/// Extension (the paper's §VI future work): HID-CAN under churn with
+/// checkpoint-based execution fault tolerance on/off.
+pub fn fig8_checkpointing(scale: Scale, seed: u64) -> Vec<(f64, RunReport, RunReport)> {
+    [0.25, 0.5, 0.75, 0.95]
+        .into_iter()
+        .map(|deg| {
+            let base = scale
+                .scenario(ProtocolChoice::Hid)
+                .lambda(0.5)
+                .churn(deg)
+                .seed(seed);
+            let plain = base.run();
+            let mut ck = base;
+            ck.checkpointing = true;
+            let ckpt = ck.run();
+            (deg, plain, ckpt)
+        })
+        .collect()
+}
+
+/// Table III: HID-CAN scalability across node counts at λ = 0.5.
+pub fn table3(scale: Scale, seed: u64) -> Vec<RunReport> {
+    scale
+        .table3_nodes
+        .iter()
+        .map(|&n| {
+            scale
+                .scenario(ProtocolChoice::Hid)
+                .nodes(n)
+                .lambda(0.5)
+                .seed(seed)
+                .run()
+        })
+        .collect()
+}
+
+/// Render a set of series reports side by side (one column per protocol),
+/// for the metric selected by `metric` ∈ {"t", "f", "fair"}.
+pub fn print_series(reports: &[RunReport], metric: &str) -> String {
+    let mut out = String::from("hour");
+    for r in reports {
+        out.push_str(&format!("\t{}", r.label));
+    }
+    out.push('\n');
+    let rows = reports.iter().map(|r| r.series.len()).min().unwrap_or(0);
+    for i in 0..rows {
+        out.push_str(&format!(
+            "{:.1}",
+            reports[0].series[i].t_ms as f64 / 3_600_000.0
+        ));
+        for r in reports {
+            let p = &r.series[i];
+            let v = match metric {
+                "t" => p.t_ratio,
+                "f" => p.f_ratio,
+                "fair" => p.fairness,
+                other => panic!("unknown metric {other}"),
+            };
+            out.push_str(&format!("\t{v:.4}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render Table III rows (metrics vs scale).
+pub fn print_table3(reports: &[RunReport]) -> String {
+    let mut out = String::from(
+        "scale\tthroughput_ratio\tfailed_task_ratio\tfairness_index\tmsg_delivery_cost\n",
+    );
+    for r in reports {
+        let n: String = r
+            .scenario
+            .split_whitespace()
+            .find(|s| s.starts_with("n="))
+            .map(|s| s[2..].to_string())
+            .unwrap_or_default();
+        out.push_str(&format!(
+            "{}\t{:.3}\t{:.1}%\t{:.3}\t{:.0}\n",
+            n,
+            r.t_ratio,
+            r.f_ratio * 100.0,
+            r.fairness,
+            r.msg_per_node
+        ));
+    }
+    out
+}
+
+/// Render Fig. 8 rows (final metrics vs churn degree).
+pub fn print_fig8(rows: &[(f64, RunReport)]) -> String {
+    let mut out = String::from("dynamic_degree\tt_ratio\tf_ratio\tfairness\n");
+    for (deg, r) in rows {
+        out.push_str(&format!(
+            "{:.0}%\t{:.3}\t{:.3}\t{:.3}\n",
+            deg * 100.0,
+            r.t_ratio,
+            r.f_ratio,
+            r.fairness
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scale_is_small() {
+        let s = Scale::smoke();
+        assert!(s.nodes < Scale::full().nodes);
+        assert!(s.hours < Scale::full().hours);
+    }
+
+    #[test]
+    fn scenario_applies_scale() {
+        let sc = Scale::smoke().scenario(ProtocolChoice::Hid);
+        assert_eq!(sc.n_nodes, 300);
+        assert_eq!(sc.duration_ms, 6 * 3_600_000);
+        assert_eq!(sc.mean_arrival_s, 1200.0);
+    }
+
+    #[test]
+    fn print_series_shapes_header() {
+        let r = Scale {
+            nodes: 60,
+            hours: 1,
+            mean_arrival_s: 600.0,
+            mean_duration_s: 600.0,
+            table3_nodes: &[60],
+        }
+        .scenario(ProtocolChoice::Hid)
+        .seed(3)
+        .run();
+        let txt = print_series(std::slice::from_ref(&r), "t");
+        assert!(txt.starts_with("hour\tHID-CAN"));
+        assert!(txt.lines().count() >= 2);
+    }
+}

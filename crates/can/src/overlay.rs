@@ -1,0 +1,382 @@
+//! The global CAN overlay registry: zones + neighbor tables.
+//!
+//! `CanOverlay` plays the role PeerSim's network container plays in the
+//! paper's simulation: it owns the authoritative zone assignment (backed by
+//! the [`PartitionTree`]) and maintains each node's neighbor table
+//! incrementally across joins and departures. Protocol crates read
+//! neighbors/zones from here and exchange *messages* through the simulator —
+//! the registry itself never performs discovery.
+//!
+//! Incremental-maintenance correctness argument (also exercised by the
+//! property tests): a zone created by a split is contained in the parent
+//! zone, so its neighbors are a subset of the parent's neighbors plus its
+//! sibling; a zone created by a merge is the union of the pair, so its
+//! neighbors are a subset of the union of the pair's neighbors; a takeover
+//! transfers a zone unchanged. Hence re-testing adjacency against the old
+//! neighbor lists of the affected nodes is exhaustive.
+
+use crate::neighbors::adjacency;
+use crate::tree::PartitionTree;
+use crate::zone::{Point, Zone};
+use rand::{Rng, RngExt};
+use soc_types::{NodeId, ResVec};
+use std::collections::BTreeSet;
+
+/// One entry of a node's neighbor table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NeighborEntry {
+    /// The adjacent node.
+    pub node: NodeId,
+    /// Dimension along which the zones abut.
+    pub dim: usize,
+    /// `true` when `node` lies on the *positive* side (it is our positive
+    /// neighbor along `dim`).
+    pub positive: bool,
+}
+
+/// Global CAN state: who owns which zone, and who neighbors whom.
+pub struct CanOverlay {
+    tree: PartitionTree,
+    zones: Vec<Option<Zone>>,
+    neighbors: Vec<Vec<NeighborEntry>>,
+    alive: Vec<bool>,
+    n_alive: usize,
+    dim: usize,
+}
+
+impl CanOverlay {
+    /// Bootstrap an overlay of dimension `dim` with capacity for `max_nodes`
+    /// node ids; node `first` owns the whole space.
+    pub fn new(dim: usize, max_nodes: usize, first: NodeId) -> Self {
+        let mut zones = vec![None; max_nodes];
+        let mut alive = vec![false; max_nodes];
+        zones[first.idx()] = Some(Zone::unit(dim));
+        alive[first.idx()] = true;
+        CanOverlay {
+            tree: PartitionTree::new(dim, first),
+            zones,
+            neighbors: vec![Vec::new(); max_nodes],
+            alive,
+            n_alive: 1,
+            dim,
+        }
+    }
+
+    /// Bootstrap with nodes `0..n` joining at rng-chosen points.
+    pub fn bootstrap<R: Rng>(dim: usize, n: usize, max_nodes: usize, rng: &mut R) -> Self {
+        assert!(n >= 1 && n <= max_nodes);
+        let mut ov = Self::new(dim, max_nodes, NodeId(0));
+        for i in 1..n {
+            let p = random_point(dim, rng);
+            ov.join(NodeId(i as u32), &p);
+        }
+        ov
+    }
+
+    /// Key-space dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.n_alive
+    }
+
+    /// True when the overlay has no live node (never happens in scenarios).
+    pub fn is_empty(&self) -> bool {
+        self.n_alive == 0
+    }
+
+    /// Is `node` currently part of the overlay?
+    #[inline]
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.alive.get(node.idx()).copied().unwrap_or(false)
+    }
+
+    /// Zone owned by `node`.
+    #[inline]
+    pub fn zone(&self, node: NodeId) -> Option<&Zone> {
+        self.zones[node.idx()].as_ref()
+    }
+
+    /// The node whose zone contains `p` (the paper's "duty node" for a state
+    /// vector or query vector at `p`).
+    pub fn owner_of(&self, p: &Point) -> NodeId {
+        self.tree.find_leaf(p)
+    }
+
+    /// Neighbor table of `node`.
+    #[inline]
+    pub fn neighbors(&self, node: NodeId) -> &[NeighborEntry] {
+        &self.neighbors[node.idx()]
+    }
+
+    /// Iterate over live node ids.
+    pub fn live_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.alive
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(i, _)| NodeId(i as u32))
+    }
+
+    /// Access the underlying partition tree (read-only).
+    pub fn tree(&self) -> &PartitionTree {
+        &self.tree
+    }
+
+    /// Remove any existing mutual entries between `a` and `b`, then re-add
+    /// them if their current zones are adjacent.
+    fn retest(&mut self, a: NodeId, b: NodeId) {
+        if a == b {
+            return;
+        }
+        self.neighbors[a.idx()].retain(|e| e.node != b);
+        self.neighbors[b.idx()].retain(|e| e.node != a);
+        let (Some(za), Some(zb)) = (self.zones[a.idx()], self.zones[b.idx()]) else {
+            return;
+        };
+        if let Some(adj) = adjacency(&za, &zb) {
+            // `adj.first_is_positive` describes `a` relative to `b`.
+            self.neighbors[a.idx()].push(NeighborEntry {
+                node: b,
+                dim: adj.dim,
+                positive: !adj.first_is_positive,
+            });
+            self.neighbors[b.idx()].push(NeighborEntry {
+                node: a,
+                dim: adj.dim,
+                positive: adj.first_is_positive,
+            });
+        }
+    }
+
+    fn sort_table(&mut self, node: NodeId) {
+        self.neighbors[node.idx()].sort_by_key(|e| (e.dim, e.positive, e.node));
+    }
+
+    /// `newcomer` joins at point `p`: the owner of the enclosing zone splits.
+    /// Returns the node that split its zone.
+    ///
+    /// # Panics
+    /// Panics if `newcomer` is already alive or its id exceeds capacity.
+    pub fn join(&mut self, newcomer: NodeId, p: &Point) -> NodeId {
+        assert!(!self.is_alive(newcomer), "{newcomer} already alive");
+        let (owner, new_zone, owner_zone) = self.tree.join(newcomer, p);
+        let old_nb: Vec<NodeId> = self.neighbors[owner.idx()].iter().map(|e| e.node).collect();
+
+        self.zones[newcomer.idx()] = Some(new_zone);
+        self.zones[owner.idx()] = Some(owner_zone);
+        self.alive[newcomer.idx()] = true;
+        self.n_alive += 1;
+        self.neighbors[newcomer.idx()].clear();
+
+        for v in &old_nb {
+            self.retest(owner, *v);
+            self.retest(newcomer, *v);
+        }
+        self.retest(owner, newcomer);
+        self.sort_table(owner);
+        self.sort_table(newcomer);
+        for v in old_nb {
+            self.sort_table(v);
+        }
+        owner
+    }
+
+    /// `node` departs; zones are reassigned per the partition-tree takeover.
+    /// Returns the reassignments `(node, new_zone)` that took place.
+    ///
+    /// # Panics
+    /// Panics if `node` is not alive, or if it is the last live node.
+    pub fn leave(&mut self, node: NodeId) -> Vec<(NodeId, Zone)> {
+        assert!(self.is_alive(node), "{node} not alive");
+        assert!(self.n_alive > 1, "cannot drain the overlay");
+
+        // Collect candidate sets *before* mutating zones.
+        let dep_nb: Vec<NodeId> = self.neighbors[node.idx()].iter().map(|e| e.node).collect();
+        let reass = self
+            .tree
+            .leave(node)
+            .expect("n_alive > 1 implies non-final leave");
+
+        let mut cand: BTreeSet<NodeId> = dep_nb.iter().copied().collect();
+        for (n, _) in &reass {
+            cand.insert(*n);
+            for e in &self.neighbors[n.idx()] {
+                cand.insert(e.node);
+            }
+        }
+        cand.remove(&node);
+
+        // Retire the departed node.
+        for v in &dep_nb {
+            self.neighbors[v.idx()].retain(|e| e.node != node);
+        }
+        self.neighbors[node.idx()].clear();
+        self.zones[node.idx()] = None;
+        self.alive[node.idx()] = false;
+        self.n_alive -= 1;
+
+        // Apply new zones, then re-test every (changed, candidate) pair.
+        for (n, z) in &reass {
+            self.zones[n.idx()] = Some(*z);
+        }
+        for (n, _) in &reass {
+            // The changed node's table may contain stale entries whose
+            // counterpart is being re-tested below; start clean.
+            let stale: Vec<NodeId> = self.neighbors[n.idx()].iter().map(|e| e.node).collect();
+            for s in stale {
+                self.neighbors[s.idx()].retain(|e| e.node != *n);
+            }
+            self.neighbors[n.idx()].clear();
+            for v in &cand {
+                self.retest(*n, *v);
+            }
+        }
+        if reass.len() == 2 {
+            self.retest(reass[0].0, reass[1].0);
+        }
+        for v in &cand {
+            self.sort_table(*v);
+        }
+        for (n, _) in &reass {
+            self.sort_table(*n);
+        }
+        reass
+    }
+
+    /// Exhaustive validation of zone/neighbor consistency (test use).
+    pub fn validate(&self) -> Result<(), String> {
+        self.tree.validate()?;
+        // Zones match the tree.
+        for n in self.live_nodes() {
+            let z = self.zones[n.idx()].ok_or(format!("{n} alive without zone"))?;
+            if self.tree.zone_of(n) != Some(&z) {
+                return Err(format!("{n} zone desynced from tree"));
+            }
+        }
+        // Neighbor tables are exactly the adjacency relation.
+        let live: Vec<NodeId> = self.live_nodes().collect();
+        for &a in &live {
+            let za = self.zones[a.idx()].unwrap();
+            let mut expect: Vec<NeighborEntry> = Vec::new();
+            for &b in &live {
+                if a == b {
+                    continue;
+                }
+                let zb = self.zones[b.idx()].unwrap();
+                if let Some(adj) = adjacency(&za, &zb) {
+                    expect.push(NeighborEntry {
+                        node: b,
+                        dim: adj.dim,
+                        positive: !adj.first_is_positive,
+                    });
+                }
+            }
+            expect.sort_by_key(|e| (e.dim, e.positive, e.node));
+            if expect != self.neighbors[a.idx()] {
+                return Err(format!(
+                    "{a} neighbor table mismatch: have {:?}, want {:?}",
+                    self.neighbors[a.idx()],
+                    expect
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Uniform random point in `[0,1)^dim`.
+pub fn random_point<R: Rng>(dim: usize, rng: &mut R) -> Point {
+    let mut p = ResVec::zeros(dim);
+    for d in 0..dim {
+        p[d] = rng.random::<f64>();
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bootstrap_small_overlay_is_consistent() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let ov = CanOverlay::bootstrap(2, 16, 32, &mut rng);
+        assert_eq!(ov.len(), 16);
+        ov.validate().unwrap();
+    }
+
+    #[test]
+    fn owner_of_agrees_with_zones() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let ov = CanOverlay::bootstrap(3, 25, 32, &mut rng);
+        for _ in 0..200 {
+            let p = random_point(3, &mut rng);
+            let owner = ov.owner_of(&p);
+            assert!(ov.zone(owner).unwrap().contains(&p));
+        }
+    }
+
+    #[test]
+    fn neighbor_tables_track_churn() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut ov = CanOverlay::bootstrap(2, 20, 64, &mut rng);
+        ov.validate().unwrap();
+        // Interleave joins and leaves.
+        for round in 0..10u32 {
+            let newcomer = NodeId(20 + round);
+            ov.join(newcomer, &random_point(2, &mut rng));
+            let victim = ov
+                .live_nodes()
+                .nth((round as usize * 3) % ov.len())
+                .unwrap();
+            ov.leave(victim);
+            ov.validate()
+                .unwrap_or_else(|e| panic!("round {round}: {e}"));
+        }
+    }
+
+    #[test]
+    fn leave_rejects_last_node() {
+        let ov = CanOverlay::new(2, 4, NodeId(0));
+        assert_eq!(ov.len(), 1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut ov2 = CanOverlay::new(2, 4, NodeId(0));
+            ov2.leave(NodeId(0));
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn neighbors_are_mutual() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let ov = CanOverlay::bootstrap(2, 30, 32, &mut rng);
+        for a in ov.live_nodes() {
+            for e in ov.neighbors(a) {
+                let back = ov
+                    .neighbors(e.node)
+                    .iter()
+                    .find(|b| b.node == a)
+                    .expect("mutual entry");
+                assert_eq!(back.dim, e.dim);
+                assert_ne!(back.positive, e.positive);
+            }
+        }
+    }
+
+    #[test]
+    fn five_dim_overlay_works() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let ov = CanOverlay::bootstrap(5, 64, 64, &mut rng);
+        ov.validate().unwrap();
+        // Every live node has at least one neighbor in a 64-node overlay.
+        for n in ov.live_nodes() {
+            assert!(!ov.neighbors(n).is_empty());
+        }
+    }
+}

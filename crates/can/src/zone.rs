@@ -1,0 +1,284 @@
+//! Zones: axis-aligned boxes partitioning the CAN key space `[0,1]^d`.
+
+use soc_types::ResVec;
+
+/// A point in the CAN key space (components in `[0,1]`).
+pub type Point = ResVec;
+
+/// A half-open axis-aligned box `[lo, hi)` per dimension.
+///
+/// Splits always occur at midpoints, so all boundaries are exact binary
+/// fractions and `f64` equality on them is reliable. Zones whose upper bound
+/// is exactly `1.0` treat that face as *closed* so the point `1.0`
+/// (a fully-idle node's normalized availability) is owned by someone.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Zone {
+    lo: ResVec,
+    hi: ResVec,
+}
+
+impl Zone {
+    /// The whole key space `[0,1]^d`.
+    pub fn unit(dim: usize) -> Zone {
+        Zone {
+            lo: ResVec::zeros(dim),
+            hi: ResVec::splat(dim, 1.0),
+        }
+    }
+
+    /// Construct from bounds.
+    ///
+    /// # Panics
+    /// Panics if `lo` does not strictly precede `hi` in every dimension.
+    pub fn new(lo: ResVec, hi: ResVec) -> Zone {
+        assert_eq!(lo.dim(), hi.dim());
+        for i in 0..lo.dim() {
+            assert!(lo[i] < hi[i], "degenerate zone in dim {i}: {lo:?}..{hi:?}");
+        }
+        Zone { lo, hi }
+    }
+
+    /// Lower corner.
+    #[inline]
+    pub fn lo(&self) -> &ResVec {
+        &self.lo
+    }
+
+    /// Upper corner.
+    #[inline]
+    pub fn hi(&self) -> &ResVec {
+        &self.hi
+    }
+
+    /// Dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.lo.dim()
+    }
+
+    /// Geometric center.
+    pub fn center(&self) -> Point {
+        (self.lo + self.hi) * 0.5
+    }
+
+    /// Extent along `dim`.
+    #[inline]
+    pub fn width(&self, dim: usize) -> f64 {
+        self.hi[dim] - self.lo[dim]
+    }
+
+    /// Volume (product of widths).
+    pub fn volume(&self) -> f64 {
+        (0..self.dim()).map(|d| self.width(d)).product()
+    }
+
+    /// Does the zone contain `p`? Half-open except on the top face of the
+    /// key space (where `hi == 1.0` is inclusive).
+    pub fn contains(&self, p: &Point) -> bool {
+        debug_assert_eq!(self.dim(), p.dim());
+        (0..self.dim()).all(|d| {
+            let inside_hi = if self.hi[d] == 1.0 {
+                p[d] <= 1.0
+            } else {
+                p[d] < self.hi[d]
+            };
+            p[d] >= self.lo[d] && inside_hi
+        })
+    }
+
+    /// Does the *open interior* of `self` intersect the box `[lo, hi]`?
+    ///
+    /// Used by INSCAN-RQ to enumerate the "shaded zones" (Fig. 1) a range
+    /// query must check.
+    pub fn overlaps_box(&self, lo: &Point, hi: &Point) -> bool {
+        debug_assert_eq!(self.dim(), lo.dim());
+        (0..self.dim()).all(|d| self.lo[d] < hi[d] && self.hi[d] > lo[d])
+    }
+
+    /// Do the projections of `self` and `other` onto `dim` overlap with
+    /// positive measure?
+    #[inline]
+    pub fn ranges_overlap(&self, other: &Zone, dim: usize) -> bool {
+        self.lo[dim] < other.hi[dim] && self.hi[dim] > other.lo[dim]
+    }
+
+    /// Split at the midpoint of `dim`, returning `(lower, upper)`.
+    ///
+    /// # Panics
+    /// Panics if the zone is too thin to split (below f64 resolution).
+    pub fn split(&self, dim: usize) -> (Zone, Zone) {
+        let mid = 0.5 * (self.lo[dim] + self.hi[dim]);
+        assert!(
+            mid > self.lo[dim] && mid < self.hi[dim],
+            "zone too thin to split along dim {dim}"
+        );
+        let mut lo_hi = self.hi;
+        lo_hi[dim] = mid;
+        let mut hi_lo = self.lo;
+        hi_lo[dim] = mid;
+        (
+            Zone {
+                lo: self.lo,
+                hi: lo_hi,
+            },
+            Zone {
+                lo: hi_lo,
+                hi: self.hi,
+            },
+        )
+    }
+
+    /// Merge two boxes that abut exactly along one dimension and have
+    /// identical cross-sections in every other dimension (in particular,
+    /// the two halves of one [`Zone::split`]). Returns `None` otherwise.
+    pub fn merge(&self, other: &Zone) -> Option<Zone> {
+        let mut diff_dim = None;
+        for d in 0..self.dim() {
+            if self.lo[d] == other.lo[d] && self.hi[d] == other.hi[d] {
+                continue;
+            }
+            if diff_dim.is_some() {
+                return None; // differ in more than one dimension
+            }
+            diff_dim = Some(d);
+        }
+        let d = diff_dim?;
+        if self.hi[d] == other.lo[d] {
+            Some(Zone {
+                lo: self.lo,
+                hi: other.hi,
+            })
+        } else if other.hi[d] == self.lo[d] {
+            Some(Zone {
+                lo: other.lo,
+                hi: self.hi,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Minimum Euclidean distance from the zone (as a closed box) to `p`;
+    /// zero when `p` is inside. This is the metric greedy routing minimizes.
+    pub fn dist_to_point(&self, p: &Point) -> f64 {
+        let mut acc = 0.0;
+        for d in 0..self.dim() {
+            let gap = if p[d] < self.lo[d] {
+                self.lo[d] - p[d]
+            } else if p[d] > self.hi[d] {
+                p[d] - self.hi[d]
+            } else {
+                0.0
+            };
+            acc += gap * gap;
+        }
+        acc.sqrt()
+    }
+
+    /// Clamp `p` into the closed zone (nearest point of the box).
+    pub fn clamp_point(&self, p: &Point) -> Point {
+        let mut q = *p;
+        for d in 0..self.dim() {
+            q[d] = q[d].clamp(self.lo[d], self.hi[d]);
+        }
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(s: &[f64]) -> Point {
+        ResVec::from_slice(s)
+    }
+
+    #[test]
+    fn unit_zone_contains_everything() {
+        let z = Zone::unit(2);
+        assert!(z.contains(&pt(&[0.0, 0.0])));
+        assert!(z.contains(&pt(&[0.5, 0.999])));
+        assert!(z.contains(&pt(&[1.0, 1.0]))); // top face inclusive
+        assert_eq!(z.volume(), 1.0);
+        assert_eq!(z.center(), pt(&[0.5, 0.5]));
+    }
+
+    #[test]
+    fn split_partitions_exactly() {
+        let z = Zone::unit(2);
+        let (a, b) = z.split(0);
+        assert_eq!(a.hi()[0], 0.5);
+        assert_eq!(b.lo()[0], 0.5);
+        assert!(a.contains(&pt(&[0.49, 0.5])));
+        assert!(!a.contains(&pt(&[0.5, 0.5]))); // half-open interior boundary
+        assert!(b.contains(&pt(&[0.5, 0.5])));
+        assert!((a.volume() + b.volume() - z.volume()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_is_inverse_of_split() {
+        let z = Zone::new(pt(&[0.25, 0.5]), pt(&[0.5, 1.0]));
+        for d in 0..2 {
+            let (a, b) = z.split(d);
+            assert_eq!(a.merge(&b), Some(z));
+            assert_eq!(b.merge(&a), Some(z));
+        }
+    }
+
+    #[test]
+    fn merge_rejects_incompatible_boxes() {
+        let z = Zone::unit(2);
+        let (a, b) = z.split(0);
+        let (a1, _a2) = a.split(1);
+        assert_eq!(a1.merge(&b), None); // differ in two dims
+        // Abutting boxes with identical cross-sections DO merge (union box),
+        // even when they are not the two halves of one split.
+        let (b1, _b2) = b.split(0);
+        let merged = a.merge(&b1).expect("compatible abutting boxes merge");
+        assert_eq!(merged.lo()[0], 0.0);
+        assert_eq!(merged.hi()[0], 0.75);
+        // Mismatched cross-sections never merge.
+        let (short, _) = b.split(1); // right half, lower y only
+        assert_eq!(a.merge(&short), None);
+    }
+
+    #[test]
+    fn overlaps_box_matches_fig1_intuition() {
+        // Query box = positive orthant from v; zones crossing it overlap.
+        let (left, right) = Zone::unit(2).split(0);
+        let v = pt(&[0.6, 0.3]);
+        let one = pt(&[1.0, 1.0]);
+        assert!(!left.overlaps_box(&v, &one));
+        assert!(right.overlaps_box(&v, &one));
+    }
+
+    #[test]
+    fn dist_to_point_zero_inside() {
+        let z = Zone::new(pt(&[0.0, 0.0]), pt(&[0.5, 0.5]));
+        assert_eq!(z.dist_to_point(&pt(&[0.25, 0.25])), 0.0);
+        assert!((z.dist_to_point(&pt(&[1.0, 0.25])) - 0.5).abs() < 1e-12);
+        let corner = z.dist_to_point(&pt(&[1.0, 1.0]));
+        assert!((corner - (0.5f64.powi(2) * 2.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamp_point_projects_onto_box() {
+        let z = Zone::new(pt(&[0.0, 0.0]), pt(&[0.5, 0.5]));
+        assert_eq!(z.clamp_point(&pt(&[0.9, 0.2])), pt(&[0.5, 0.2]));
+        assert_eq!(z.clamp_point(&pt(&[0.1, 0.2])), pt(&[0.1, 0.2]));
+    }
+
+    #[test]
+    fn ranges_overlap_is_symmetric() {
+        let (a, b) = Zone::unit(2).split(0);
+        assert!(!a.ranges_overlap(&b, 0));
+        assert!(!b.ranges_overlap(&a, 0));
+        assert!(a.ranges_overlap(&b, 1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn degenerate_zone_rejected() {
+        let _ = Zone::new(pt(&[0.5, 0.0]), pt(&[0.5, 1.0]));
+    }
+}

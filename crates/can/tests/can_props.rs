@@ -1,0 +1,156 @@
+//! Property-based tests for the CAN substrate: the partition tree tiles the
+//! space under arbitrary churn, neighbor tables stay exactly consistent with
+//! zone geometry, and greedy routing always converges to the true owner.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use soc_can::{adjacency, is_negative_direction, route_path, CanOverlay, PartitionTree, Zone};
+use soc_types::{NodeId, ResVec};
+
+/// A churn script: joins (point) and leaves (victim selector).
+#[derive(Clone, Debug)]
+enum Op {
+    Join([f64; 3]),
+    Leave(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => prop::array::uniform3(0.0f64..1.0).prop_map(Op::Join),
+        1 => (0usize..64).prop_map(Op::Leave),
+    ]
+}
+
+fn pt(c: &[f64]) -> ResVec {
+    ResVec::from_slice(c)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tree_tiles_space_under_churn(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let mut t = PartitionTree::new(3, NodeId(0));
+        let mut next = 1u32;
+        for op in ops {
+            match op {
+                Op::Join(p) => {
+                    t.join(NodeId(next), &pt(&p));
+                    next += 1;
+                }
+                Op::Leave(k) => {
+                    if t.len() > 1 {
+                        let victims: Vec<NodeId> = t.leaves().map(|(n, _)| n).collect();
+                        let mut sorted = victims;
+                        sorted.sort();
+                        let v = sorted[k % sorted.len()];
+                        t.leave(v).unwrap();
+                    }
+                }
+            }
+            prop_assert!(t.validate().is_ok(), "{:?}", t.validate());
+        }
+    }
+
+    #[test]
+    fn every_point_has_exactly_one_owner(
+        points in prop::collection::vec(prop::array::uniform3(0.0f64..1.0), 20),
+        probes in prop::collection::vec(prop::array::uniform3(0.0f64..1.0), 20),
+    ) {
+        let mut t = PartitionTree::new(3, NodeId(0));
+        for (i, p) in points.iter().enumerate() {
+            t.join(NodeId(i as u32 + 1), &pt(p));
+        }
+        for q in &probes {
+            let q = pt(q);
+            let owner = t.find_leaf(&q);
+            // Exactly one leaf zone contains the probe point.
+            let containing: Vec<NodeId> = t
+                .leaves()
+                .filter(|(_, z)| z.contains(&q))
+                .map(|(n, _)| n)
+                .collect();
+            prop_assert_eq!(containing.len(), 1);
+            prop_assert_eq!(containing[0], owner);
+        }
+    }
+
+    #[test]
+    fn overlay_neighbors_consistent_under_churn(seed in 0u64..1000, churn_rounds in 0usize..12) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut ov = CanOverlay::bootstrap(2, 24, 64, &mut rng);
+        for round in 0..churn_rounds {
+            let newcomer = NodeId(24 + round as u32);
+            ov.join(newcomer, &soc_can::overlay::random_point(2, &mut rng));
+            let nth = (seed as usize + round) % ov.len();
+            let victim = ov.live_nodes().nth(nth).unwrap();
+            ov.leave(victim);
+        }
+        prop_assert!(ov.validate().is_ok(), "{:?}", ov.validate());
+    }
+
+    #[test]
+    fn routing_always_converges(seed in 0u64..500, target in prop::array::uniform2(0.0f64..1.0)) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ov = CanOverlay::bootstrap(2, 40, 64, &mut rng);
+        let t = pt(&target);
+        for start in ov.live_nodes() {
+            let out = route_path(&ov, start, &t, 4_000);
+            prop_assert_eq!(out.owner, Some(ov.owner_of(&t)));
+        }
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_with_flipped_orientation(
+        a_lo in prop::array::uniform2(0.0f64..0.9),
+        b_lo in prop::array::uniform2(0.0f64..0.9),
+        w in 0.05f64..0.5,
+    ) {
+        let za = Zone::new(pt(&a_lo), pt(&[a_lo[0] + w, a_lo[1] + w]));
+        let zb = Zone::new(pt(&b_lo), pt(&[b_lo[0] + w, b_lo[1] + w]));
+        match (adjacency(&za, &zb), adjacency(&zb, &za)) {
+            (None, None) => {}
+            (Some(x), Some(y)) => {
+                prop_assert_eq!(x.dim, y.dim);
+                prop_assert_ne!(x.first_is_positive, y.first_is_positive);
+            }
+            other => prop_assert!(false, "asymmetric adjacency: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn negative_direction_is_transitive_on_chains(
+        xs in prop::collection::vec(0.0f64..0.3, 2),
+        shift in 0.31f64..0.6,
+    ) {
+        // Build three boxes stacked along both axes: A below B below C.
+        let a = Zone::new(pt(&xs), pt(&[xs[0] + 0.05, xs[1] + 0.05]));
+        let b = Zone::new(
+            pt(&[xs[0] + shift * 0.5, xs[1] + shift * 0.5]),
+            pt(&[xs[0] + shift * 0.5 + 0.05, xs[1] + shift * 0.5 + 0.05]),
+        );
+        let c = Zone::new(
+            pt(&[xs[0] + shift, xs[1] + shift]),
+            pt(&[xs[0] + shift + 0.05, xs[1] + shift + 0.05]),
+        );
+        if is_negative_direction(&a, &b) && is_negative_direction(&b, &c) {
+            prop_assert!(is_negative_direction(&a, &c));
+        }
+    }
+
+    #[test]
+    fn split_then_merge_roundtrip(
+        lo in prop::array::uniform3(0.0f64..0.5),
+        w in 0.1f64..0.5,
+        dim in 0usize..3,
+    ) {
+        let z = Zone::new(pt(&lo), pt(&[lo[0] + w, lo[1] + w, lo[2] + w]));
+        let (a, b) = z.split(dim);
+        prop_assert_eq!(a.merge(&b), Some(z));
+        prop_assert!((a.volume() + b.volume() - z.volume()).abs() < 1e-12);
+        // Halves are adjacent along the split dimension.
+        let adj = adjacency(&a, &b).unwrap();
+        prop_assert_eq!(adj.dim, dim);
+    }
+}

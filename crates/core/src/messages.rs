@@ -1,0 +1,166 @@
+//! PID-CAN wire messages.
+//!
+//! Three query-phase messages (§III-C: duty-query, index-agent, index-jump)
+//! plus the state-update and index-diffusion messages of §III-A/B and the
+//! FoundList notification of Algorithm 5.
+
+use soc_overlay::Candidate;
+use soc_types::{NodeId, QueryId, ResVec};
+
+/// Everything PID-CAN puts on the wire.
+#[derive(Clone, Debug)]
+pub enum PidMsg {
+    /// A node's availability record being routed to its duty node.
+    StateUpdate {
+        /// Node the record describes.
+        subject: NodeId,
+        /// Its availability vector (raw units).
+        avail: ResVec,
+        /// CAN key-space target (normalized availability, plus the virtual
+        /// coordinate under VD).
+        target: ResVec,
+        /// Remaining routing-hop budget (drop the record when it hits 0 —
+        /// the next cycle re-publishes anyway).
+        hops_left: u32,
+    },
+    /// Index-diffusion message `{ID, dim_NO, dim_TTL}` (Algorithms 1–2).
+    Index {
+        /// Identifier being diffused (a node whose cache is non-empty).
+        id: NodeId,
+        /// Dimension currently being propagated (1-based in the paper;
+        /// 0-based here).
+        dim_no: usize,
+        /// Remaining same-dimension relay budget (`q`); 0 under SID.
+        dim_ttl: usize,
+    },
+    /// Query routing toward the duty node (Algorithm 3).
+    DutyQuery {
+        /// Query identity.
+        qid: QueryId,
+        /// Requester (receives FoundList notifications).
+        requester: NodeId,
+        /// Demand vector being matched (raw units; under SoS this is the
+        /// slacked `e'`).
+        demand: ResVec,
+        /// CAN key-space target (normalized demand).
+        target: ResVec,
+        /// Results still wanted (`δ`).
+        delta: usize,
+        /// Remaining routing-hop budget (bounds the query delay; exhausting
+        /// it fails the query rather than wandering forever).
+        hops_left: u32,
+    },
+    /// Index-agent message `{v, ι − α}` (Algorithm 4).
+    IndexAgent {
+        /// Query identity.
+        qid: QueryId,
+        /// Requester.
+        requester: NodeId,
+        /// Demand vector (raw units).
+        demand: ResVec,
+        /// Results still wanted.
+        delta: usize,
+        /// Remaining agents (`ι` minus already-consumed ones).
+        agents: Vec<NodeId>,
+    },
+    /// Index-jump message `{v, δ, j − β}` (Algorithm 5).
+    IndexJump {
+        /// Query identity.
+        qid: QueryId,
+        /// Requester.
+        requester: NodeId,
+        /// Demand vector (raw units).
+        demand: ResVec,
+        /// Results still wanted.
+        delta: usize,
+        /// Remaining jump targets (`j`).
+        jumps: Vec<NodeId>,
+        /// Remaining agents to fall back to.
+        agents: Vec<NodeId>,
+        /// Remaining jump-hop budget (query delay bound).
+        budget: usize,
+    },
+    /// FoundList `ϕ` notification to the requester.
+    Found {
+        /// Query identity.
+        qid: QueryId,
+        /// Qualified records discovered at one index node.
+        candidates: Vec<Candidate>,
+    },
+    /// End-of-search notice to the requester (the searcher exhausted both
+    /// its jump list and the agent list), so SoS can decide on a retry.
+    Exhausted {
+        /// Query identity.
+        qid: QueryId,
+    },
+}
+
+impl PidMsg {
+    /// Short label for traces and tests.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PidMsg::StateUpdate { .. } => "state-update",
+            PidMsg::Index { .. } => "index",
+            PidMsg::DutyQuery { .. } => "duty-query",
+            PidMsg::IndexAgent { .. } => "index-agent",
+            PidMsg::IndexJump { .. } => "index-jump",
+            PidMsg::Found { .. } => "found",
+            PidMsg::Exhausted { .. } => "exhausted",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        let msgs = [
+            PidMsg::StateUpdate {
+                subject: NodeId(0),
+                avail: ResVec::zeros(2),
+                target: ResVec::zeros(2),
+                hops_left: 8,
+            },
+            PidMsg::Index {
+                id: NodeId(0),
+                dim_no: 0,
+                dim_ttl: 2,
+            },
+            PidMsg::DutyQuery {
+                qid: QueryId(0),
+                requester: NodeId(0),
+                demand: ResVec::zeros(2),
+                target: ResVec::zeros(2),
+                delta: 1,
+                hops_left: 8,
+            },
+            PidMsg::IndexAgent {
+                qid: QueryId(0),
+                requester: NodeId(0),
+                demand: ResVec::zeros(2),
+                delta: 1,
+                agents: vec![],
+            },
+            PidMsg::IndexJump {
+                qid: QueryId(0),
+                requester: NodeId(0),
+                demand: ResVec::zeros(2),
+                delta: 1,
+                jumps: vec![],
+                agents: vec![],
+                budget: 8,
+            },
+            PidMsg::Found {
+                qid: QueryId(0),
+                candidates: vec![],
+            },
+            PidMsg::Exhausted { qid: QueryId(0) },
+        ];
+        let mut labels: Vec<&str> = msgs.iter().map(|m| m.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), msgs.len());
+    }
+}

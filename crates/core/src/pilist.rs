@@ -1,0 +1,161 @@
+//! PIList — the Positive Index List (§III-B2).
+//!
+//! "Upon receiving an index message, the node will store it into a list,
+//! denoted as PIList, which means Positive Index List." Entries name nodes
+//! *known to hold state records* (their caches were non-empty when they
+//! diffused); they sit in the index-senders' positive direction, which is
+//! exactly where records qualifying a local demand vector live.
+
+use rand::{Rng, RngExt};
+use soc_types::{NodeId, SimMillis};
+
+/// A TTL'd set of index-node identifiers with receipt timestamps.
+#[derive(Clone, Debug, Default)]
+pub struct PiList {
+    entries: Vec<(NodeId, SimMillis)>,
+}
+
+impl PiList {
+    /// Empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `index_node`'s identifier arrived at `now`. Re-receipt
+    /// refreshes the timestamp.
+    pub fn insert(&mut self, index_node: NodeId, now: SimMillis) {
+        match self.entries.iter_mut().find(|(n, _)| *n == index_node) {
+            Some(e) => e.1 = now,
+            None => self.entries.push((index_node, now)),
+        }
+    }
+
+    /// Drop entries older than `ttl` at `now`; returns how many were kept.
+    pub fn purge(&mut self, now: SimMillis, ttl: SimMillis) -> usize {
+        self.entries
+            .retain(|&(_, t)| now.saturating_sub(t) <= ttl);
+        self.entries.len()
+    }
+
+    /// Remove a specific node (e.g. observed dead).
+    pub fn remove(&mut self, node: NodeId) {
+        self.entries.retain(|&(n, _)| n != node);
+    }
+
+    /// Number of stored entries (fresh or not).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Fresh entries at `now`.
+    pub fn fresh(&self, now: SimMillis, ttl: SimMillis) -> Vec<NodeId> {
+        self.entries
+            .iter()
+            .filter(|&&(_, t)| now.saturating_sub(t) <= ttl)
+            .map(|&(n, _)| n)
+            .collect()
+    }
+
+    /// Sample up to `k` distinct fresh entries uniformly at random
+    /// (Algorithm 4 line 1: "Randomly select a few indexes from pi's PIList
+    /// and put them in j").
+    pub fn sample<R: Rng>(&self, k: usize, now: SimMillis, ttl: SimMillis, rng: &mut R) -> Vec<NodeId> {
+        let mut fresh = self.fresh(now, ttl);
+        // Partial Fisher–Yates: the first `k` positions become the sample.
+        let take = k.min(fresh.len());
+        for i in 0..take {
+            let j = rng.random_range(i..fresh.len());
+            fresh.swap(i, j);
+        }
+        fresh.truncate(take);
+        fresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn insert_is_idempotent_and_refreshing() {
+        let mut p = PiList::new();
+        p.insert(NodeId(1), 100);
+        p.insert(NodeId(1), 500);
+        assert_eq!(p.len(), 1);
+        // The refreshed timestamp keeps it alive longer: with the original
+        // t=100 stamp the entry would be stale at now=1000 (age 900 > 600),
+        // but the refresh at t=500 keeps it fresh (age 500).
+        assert_eq!(p.fresh(1_000, 600), vec![NodeId(1)]);
+        assert!(p.fresh(1_101, 600).is_empty());
+    }
+
+    #[test]
+    fn purge_drops_stale() {
+        let mut p = PiList::new();
+        p.insert(NodeId(1), 0);
+        p.insert(NodeId(2), 900);
+        assert_eq!(p.purge(1_000, 500), 1);
+        assert_eq!(p.fresh(1_000, 500), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn sample_is_within_bounds_and_distinct() {
+        let mut p = PiList::new();
+        for i in 0..10 {
+            p.insert(NodeId(i), 0);
+        }
+        let mut rng = SmallRng::seed_from_u64(7);
+        for k in [0usize, 3, 10, 25] {
+            let s = p.sample(k, 100, 1_000, &mut rng);
+            assert_eq!(s.len(), k.min(10));
+            let mut dedup = s.clone();
+            dedup.sort();
+            dedup.dedup();
+            assert_eq!(dedup.len(), s.len(), "sample has duplicates");
+        }
+    }
+
+    #[test]
+    fn sample_excludes_stale_entries() {
+        let mut p = PiList::new();
+        p.insert(NodeId(1), 0);
+        p.insert(NodeId(2), 10_000);
+        let mut rng = SmallRng::seed_from_u64(8);
+        let s = p.sample(5, 10_500, 600, &mut rng);
+        assert_eq!(s, vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn remove_specific_node() {
+        let mut p = PiList::new();
+        p.insert(NodeId(1), 0);
+        p.insert(NodeId(2), 0);
+        p.remove(NodeId(1));
+        assert_eq!(p.fresh(0, 100), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn sampling_is_roughly_uniform() {
+        let mut p = PiList::new();
+        for i in 0..4 {
+            p.insert(NodeId(i), 0);
+        }
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut counts = [0u32; 4];
+        for _ in 0..4000 {
+            for id in p.sample(1, 0, 100, &mut rng) {
+                counts[id.0 as usize] += 1;
+            }
+        }
+        for c in counts {
+            assert!((800..1200).contains(&c), "biased sampling: {counts:?}");
+        }
+    }
+}

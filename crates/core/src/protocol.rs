@@ -1,0 +1,892 @@
+//! The PID-CAN protocol: state publication, proactive index diffusion
+//! (Algorithms 1–2) and the contention-minimized best-fit query
+//! (Algorithms 3–5), with optional SoS and VD.
+
+use crate::config::{DiffusionMethod, PidCanConfig};
+use crate::messages::PidMsg;
+use crate::pilist::PiList;
+use rand::{Rng, RngExt};
+use soc_inscan::{inscan_next_hop, IndexTables};
+use soc_net::MsgKind;
+use soc_overlay::{
+    Candidate, Ctx, DiscoveryOverlay, QueryRequest, QueryVerdict, RecordCache, StateRecord,
+};
+use soc_types::{NodeId, QueryId, ResVec};
+use std::collections::HashMap;
+
+/// Timer discriminants.
+const T_STATE: u32 = 0;
+const T_DIFFUSE: u32 = 1;
+const T_REFRESH: u32 = 2;
+
+/// Requester-side query bookkeeping (SoS phase tracking).
+#[derive(Clone, Debug)]
+struct QueryState {
+    requester: NodeId,
+    original: ResVec,
+    slacked: bool,
+    found: usize,
+    wanted: usize,
+}
+
+/// Query-path diagnostics (calibration/ablation visibility; not part of
+/// the protocol).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PidDiag {
+    /// Queries whose duty node had no positive neighbors to act as agents.
+    pub duty_no_agents: u64,
+    /// Index-agent messages handled.
+    pub agent_visits: u64,
+    /// Agent visits whose PIList sample came up empty.
+    pub agent_pil_empty: u64,
+    /// Index-jump visits.
+    pub jump_visits: u64,
+    /// Jump visits that found at least one qualified record.
+    pub jump_hits: u64,
+}
+
+/// PID-CAN (SID/HID ± SoS ± VD) as a pluggable discovery overlay.
+pub struct PidCan {
+    cfg: PidCanConfig,
+    tables: IndexTables,
+    caches: Vec<RecordCache>,
+    pilists: Vec<PiList>,
+    queries: HashMap<QueryId, QueryState>,
+    overlay_dim: usize,
+    route_budget: u32,
+    diag: PidDiag,
+}
+
+impl PidCan {
+    /// Build an instance for a CAN overlay of `overlay_dim` dimensions
+    /// holding `n` expected nodes with id capacity `max_nodes`.
+    ///
+    /// For the paper's SOC, `overlay_dim` is
+    /// [`PidCanConfig::overlay_dim`] (5, or 6 with VD); unit tests may use
+    /// smaller spaces. With VD enabled, `overlay_dim` must be one more than
+    /// the resource-vector dimensionality.
+    pub fn new(cfg: PidCanConfig, overlay_dim: usize, n: usize, max_nodes: usize) -> Self {
+        let dim = overlay_dim;
+        // Generous routing TTL: 4·log2(n) + 16 covers INSCAN detours under
+        // churn while bounding worst-case wandering.
+        let route_budget = 4 * (n.max(2) as f64).log2().ceil() as u32 + 16;
+        PidCan {
+            cfg,
+            tables: IndexTables::new(dim, n, max_nodes),
+            caches: vec![RecordCache::new(cfg.record_ttl_ms); max_nodes],
+            pilists: vec![PiList::new(); max_nodes],
+            queries: HashMap::new(),
+            overlay_dim: dim,
+            route_budget,
+            diag: PidDiag::default(),
+        }
+    }
+
+    /// Query-path diagnostics accumulated so far.
+    pub fn diag(&self) -> PidDiag {
+        self.diag
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> &PidCanConfig {
+        &self.cfg
+    }
+
+    /// Read access to the finger tables (benches/diagnostics).
+    pub fn tables(&self) -> &IndexTables {
+        &self.tables
+    }
+
+    /// Read access to a node's record cache (tests/diagnostics).
+    pub fn cache(&self, node: NodeId) -> &RecordCache {
+        &self.caches[node.idx()]
+    }
+
+    /// Read access to a node's PIList (tests/diagnostics).
+    pub fn pilist(&self, node: NodeId) -> &PiList {
+        &self.pilists[node.idx()]
+    }
+
+    /// Map a raw resource vector to a CAN key-space point, appending the
+    /// random virtual coordinate under VD.
+    fn key_point<R: Rng>(&self, ctx_cmax: &ResVec, v: &ResVec, rng: &mut R) -> ResVec {
+        let p = v.normalize(ctx_cmax);
+        if self.cfg.virtual_dim {
+            p.push_dim(rng.random::<f64>())
+        } else {
+            p
+        }
+    }
+
+    fn arm_node_timers(&self, ctx: &mut Ctx<'_, PidMsg>, node: NodeId) {
+        // Stagger periodic timers with random phase so 2000 nodes do not
+        // fire in lockstep.
+        let s = ctx.rng.random_range(0..self.cfg.state_update_ms.max(1));
+        let d = ctx.rng.random_range(0..self.cfg.diffusion_ms.max(1));
+        let r = ctx.rng.random_range(0..self.cfg.table_refresh_ms.max(1));
+        ctx.timer(node, T_STATE, s);
+        ctx.timer(node, T_DIFFUSE, d);
+        ctx.timer(node, T_REFRESH, r);
+    }
+
+    /// Route-or-consume for messages targeting a key-space point. Returns
+    /// `true` when `node` owns the point (message consumed by caller).
+    fn forward_toward(
+        &self,
+        ctx: &mut Ctx<'_, PidMsg>,
+        node: NodeId,
+        target: &ResVec,
+        kind: MsgKind,
+        msg: PidMsg,
+    ) -> bool {
+        match inscan_next_hop(ctx.can, &self.tables, node, target) {
+            None => true,
+            Some(next) => {
+                ctx.send(node, next, kind, msg);
+                false
+            }
+        }
+    }
+
+    /// Retransmission path after a delivery failure: like
+    /// [`Self::forward_toward`] but never picks `avoid` or a node the host
+    /// layer knows to be dead (the failure detector just told us). Falls
+    /// back to the closest *live* adjacent neighbor; when the sender is the
+    /// closest live zone to the target it consumes the message itself
+    /// (returns `true`).
+    fn forward_avoiding(
+        &self,
+        ctx: &mut Ctx<'_, PidMsg>,
+        node: NodeId,
+        target: &ResVec,
+        kind: MsgKind,
+        msg: PidMsg,
+        avoid: NodeId,
+    ) -> bool {
+        if ctx.can.zone(node).is_some_and(|z| z.contains(target)) {
+            return true;
+        }
+        if let Some(next) = inscan_next_hop(ctx.can, &self.tables, node, target) {
+            if next != avoid && ctx.host.is_alive(next) {
+                ctx.send(node, next, kind, msg);
+                return false;
+            }
+        }
+        // Greedy over live neighbors, excluding the dead hop.
+        let mut best: Option<(f64, NodeId)> = None;
+        for e in ctx.can.neighbors(node) {
+            if e.node == avoid || !ctx.host.is_alive(e.node) {
+                continue;
+            }
+            let Some(z) = ctx.can.zone(e.node) else {
+                continue;
+            };
+            let d = z.dist_to_point(target);
+            if best.is_none_or(|(bd, bn)| d < bd || (d == bd && e.node < bn)) {
+                best = Some((d, e.node));
+            }
+        }
+        match best {
+            Some((_, next)) => {
+                ctx.send(node, next, kind, msg);
+                false
+            }
+            // Isolated sender: treat the message as arrived (best effort).
+            None => true,
+        }
+    }
+
+    /// Algorithm 1 (index-sender): diffuse `node`'s identifier because its
+    /// cache is non-empty.
+    fn diffuse_index(&mut self, ctx: &mut Ctx<'_, PidMsg>, node: NodeId) {
+        let table = self.tables.get(node);
+        match self.cfg.diffusion {
+            DiffusionMethod::Hopping => {
+                // One message along dimension 0 with TTL = L; relays fan out
+                // the remaining dimensions (Algorithm 2).
+                if let Some(t) = table.random_ninode(0, ctx.rng) {
+                    ctx.send(
+                        node,
+                        t,
+                        MsgKind::IndexDiffusion,
+                        PidMsg::Index {
+                            id: node,
+                            dim_no: 0,
+                            dim_ttl: self.cfg.fanout_l,
+                        },
+                    );
+                }
+            }
+            DiffusionMethod::Spreading => {
+                // The initiator picks all L same-dimension targets itself.
+                for _ in 0..self.cfg.fanout_l {
+                    if let Some(t) = table.random_ninode(0, ctx.rng) {
+                        ctx.send(
+                            node,
+                            t,
+                            MsgKind::IndexDiffusion,
+                            PidMsg::Index {
+                                id: node,
+                                dim_no: 0,
+                                dim_ttl: 0,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Algorithm 2 (index-relay) at `node` for `{id, dim_no, dim_ttl}`.
+    fn relay_index(
+        &mut self,
+        ctx: &mut Ctx<'_, PidMsg>,
+        node: NodeId,
+        id: NodeId,
+        dim_no: usize,
+        dim_ttl: usize,
+    ) {
+        self.pilists[node.idx()].insert(id, ctx.now);
+        let table = self.tables.get(node);
+        match self.cfg.diffusion {
+            DiffusionMethod::Hopping => {
+                if dim_ttl > 1 {
+                    if let Some(t) = table.random_ninode(dim_no, ctx.rng) {
+                        ctx.send(
+                            node,
+                            t,
+                            MsgKind::IndexDiffusion,
+                            PidMsg::Index {
+                                id,
+                                dim_no,
+                                dim_ttl: dim_ttl - 1,
+                            },
+                        );
+                    }
+                }
+                if dim_no + 1 < self.overlay_dim {
+                    if let Some(t) = table.random_ninode(dim_no + 1, ctx.rng) {
+                        ctx.send(
+                            node,
+                            t,
+                            MsgKind::IndexDiffusion,
+                            PidMsg::Index {
+                                id,
+                                dim_no: dim_no + 1,
+                                dim_ttl: self.cfg.fanout_l,
+                            },
+                        );
+                    }
+                }
+            }
+            DiffusionMethod::Spreading => {
+                if dim_no + 1 < self.overlay_dim {
+                    for _ in 0..self.cfg.fanout_l {
+                        if let Some(t) = table.random_ninode(dim_no + 1, ctx.rng) {
+                            ctx.send(
+                                node,
+                                t,
+                                MsgKind::IndexDiffusion,
+                                PidMsg::Index {
+                                    id,
+                                    dim_no: dim_no + 1,
+                                    dim_ttl: 0,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Deliver found candidates to the requester (locally when the finder
+    /// *is* the requester).
+    fn notify_found(
+        &mut self,
+        ctx: &mut Ctx<'_, PidMsg>,
+        at: NodeId,
+        qid: QueryId,
+        requester: NodeId,
+        candidates: Vec<Candidate>,
+    ) {
+        if candidates.is_empty() {
+            return;
+        }
+        if at == requester {
+            self.note_found(qid, candidates.len());
+            ctx.query_results(qid, candidates);
+        } else {
+            ctx.send(
+                at,
+                requester,
+                MsgKind::FoundNotify,
+                PidMsg::Found { qid, candidates },
+            );
+        }
+    }
+
+    fn note_found(&mut self, qid: QueryId, n: usize) {
+        if let Some(q) = self.queries.get_mut(&qid) {
+            q.found += n;
+        }
+    }
+
+    /// Algorithm 3, duty-node half: build the agent list `ι` and dispatch
+    /// the first index-agent message.
+    fn handle_duty(
+        &mut self,
+        ctx: &mut Ctx<'_, PidMsg>,
+        duty: NodeId,
+        qid: QueryId,
+        requester: NodeId,
+        demand: ResVec,
+        mut delta: usize,
+    ) {
+        // Optionally search the duty node's own cache first (best-fit
+        // records live in the zone enclosing the demand vector).
+        if self.cfg.check_duty_cache {
+            let found = self.caches[duty.idx()].qualified(&demand, ctx.now);
+            if !found.is_empty() {
+                delta = delta.saturating_sub(found.len());
+                let cands = found
+                    .iter()
+                    .map(|r| Candidate {
+                        node: r.subject,
+                        avail: r.avail,
+                    })
+                    .collect();
+                self.notify_found(ctx, duty, qid, requester, cands);
+            }
+        }
+        if delta == 0 {
+            self.finish_query(ctx, duty, qid, requester);
+            return;
+        }
+        // ι: one random positive adjacent neighbor per dimension.
+        let mut agents: Vec<NodeId> = Vec::new();
+        for d in 0..self.overlay_dim {
+            let ups: Vec<NodeId> = ctx
+                .can
+                .neighbors(duty)
+                .iter()
+                .filter(|e| e.dim == d && e.positive)
+                .map(|e| e.node)
+                .collect();
+            if !ups.is_empty() {
+                let pick = ups[ctx.rng.random_range(0..ups.len())];
+                if !agents.contains(&pick) {
+                    agents.push(pick);
+                }
+            }
+        }
+        if agents.is_empty() {
+            self.diag.duty_no_agents += 1;
+        }
+        self.continue_with_agents(ctx, duty, qid, requester, demand, delta, agents);
+    }
+
+    /// "Randomly select an index agent α from ι; send the index-agent
+    /// message {v, ι − α} to α" — shared by Algorithms 3–5 fallback paths.
+    #[allow(clippy::too_many_arguments)]
+    fn continue_with_agents(
+        &mut self,
+        ctx: &mut Ctx<'_, PidMsg>,
+        at: NodeId,
+        qid: QueryId,
+        requester: NodeId,
+        demand: ResVec,
+        delta: usize,
+        mut agents: Vec<NodeId>,
+    ) {
+        if agents.is_empty() {
+            self.finish_query(ctx, at, qid, requester);
+            return;
+        }
+        let i = ctx.rng.random_range(0..agents.len());
+        let alpha = agents.swap_remove(i);
+        ctx.send(
+            at,
+            alpha,
+            MsgKind::IndexAgent,
+            PidMsg::IndexAgent {
+                qid,
+                requester,
+                demand,
+                delta,
+                agents,
+            },
+        );
+    }
+
+    /// "Randomly choose next index node β from list j; send index-jump
+    /// message {v, δ, j − β} to β" — shared continuation.
+    #[allow(clippy::too_many_arguments)]
+    fn continue_jump(
+        &mut self,
+        ctx: &mut Ctx<'_, PidMsg>,
+        at: NodeId,
+        qid: QueryId,
+        requester: NodeId,
+        demand: ResVec,
+        delta: usize,
+        mut jumps: Vec<NodeId>,
+        agents: Vec<NodeId>,
+        budget: usize,
+    ) {
+        if jumps.is_empty() || budget == 0 {
+            self.continue_with_agents(ctx, at, qid, requester, demand, delta, agents);
+            return;
+        }
+        let i = ctx.rng.random_range(0..jumps.len());
+        let beta = jumps.swap_remove(i);
+        ctx.send(
+            at,
+            beta,
+            MsgKind::IndexJump,
+            PidMsg::IndexJump {
+                qid,
+                requester,
+                demand,
+                delta,
+                jumps,
+                agents,
+                budget: budget - 1,
+            },
+        );
+    }
+
+    /// The search path died out; tell the requester (who owns the SoS
+    /// retry decision).
+    fn finish_query(
+        &mut self,
+        ctx: &mut Ctx<'_, PidMsg>,
+        at: NodeId,
+        qid: QueryId,
+        requester: NodeId,
+    ) {
+        if at == requester {
+            self.handle_exhausted(ctx, requester, qid);
+        } else {
+            ctx.send(
+                at,
+                requester,
+                MsgKind::FoundNotify,
+                PidMsg::Exhausted { qid },
+            );
+        }
+    }
+
+    /// Requester-side exhaustion: retry under SoS (restore the original
+    /// vector), else report done.
+    fn handle_exhausted(&mut self, ctx: &mut Ctx<'_, PidMsg>, requester: NodeId, qid: QueryId) {
+        let Some(q) = self.queries.get(&qid) else {
+            return; // stale notice for an already-settled query
+        };
+        if self.cfg.sos && q.slacked && q.found == 0 {
+            // Restore e(t) and search again (Formula (3) fallback).
+            let (original, wanted) = (q.original, q.wanted);
+            if let Some(qm) = self.queries.get_mut(&qid) {
+                qm.slacked = false;
+            }
+            self.issue_query(ctx, requester, qid, original, original, wanted);
+        } else {
+            self.queries.remove(&qid);
+            ctx.query_done(qid, QueryVerdict::Exhausted);
+        }
+    }
+
+    /// Inject a duty-query at the requester and route it toward the zone
+    /// enclosing `effective` (the possibly-slacked vector).
+    fn issue_query(
+        &mut self,
+        ctx: &mut Ctx<'_, PidMsg>,
+        requester: NodeId,
+        qid: QueryId,
+        effective: ResVec,
+        _original: ResVec,
+        wanted: usize,
+    ) {
+        let target = {
+            let cmax = *ctx.host.cmax();
+            self.key_point(&cmax, &effective, ctx.rng)
+        };
+        let msg = PidMsg::DutyQuery {
+            qid,
+            requester,
+            demand: effective,
+            target,
+            delta: wanted,
+            hops_left: self.route_budget,
+        };
+        if self.forward_toward(ctx, requester, &target, MsgKind::DutyQuery, msg) {
+            // Requester itself is the duty node.
+            self.handle_duty(ctx, requester, qid, requester, effective, wanted);
+        }
+    }
+
+    /// Componentwise uniform slack `e ⪯ e' ⪯ cmax` (Formula (3)).
+    fn slack_vector<R: Rng>(demand: &ResVec, cmax: &ResVec, rng: &mut R) -> ResVec {
+        let mut e = *demand;
+        for d in 0..e.dim() {
+            let hi = cmax[d].max(e[d]);
+            e[d] += rng.random::<f64>() * (hi - e[d]);
+        }
+        e
+    }
+}
+
+impl DiscoveryOverlay for PidCan {
+    type Msg = PidMsg;
+
+    fn name(&self) -> &'static str {
+        self.cfg.label()
+    }
+
+    fn diag_string(&self) -> String {
+        format!("{:?}", self.diag)
+    }
+
+    fn diag_record_match(
+        &self,
+        demand: &ResVec,
+        now: soc_types::SimMillis,
+    ) -> Option<bool> {
+        Some(
+            self.caches
+                .iter()
+                .any(|c| !c.qualified(demand, now).is_empty()),
+        )
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, PidMsg>) {
+        // Build initial finger tables (charged as maintenance) and arm
+        // per-node timers.
+        let nodes: Vec<NodeId> = ctx.can.live_nodes().collect();
+        for node in nodes {
+            let stats = self.tables.refresh_node(node, ctx.can, ctx.rng);
+            ctx.charge(node, MsgKind::Maintenance, stats.probe_msgs);
+            self.arm_node_timers(ctx, node);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, PidMsg>, node: NodeId, msg: PidMsg) {
+        match msg {
+            PidMsg::StateUpdate {
+                subject,
+                avail,
+                target,
+                hops_left,
+            } => {
+                let consumed = {
+                    let zone = ctx.can.zone(node).expect("message at dead node");
+                    zone.contains(&target)
+                };
+                if consumed {
+                    self.caches[node.idx()].insert(StateRecord {
+                        subject,
+                        avail,
+                        stored_at: ctx.now,
+                    });
+                } else if hops_left > 0 {
+                    let m = PidMsg::StateUpdate {
+                        subject,
+                        avail,
+                        target,
+                        hops_left: hops_left - 1,
+                    };
+                    if self.forward_toward(ctx, node, &target, MsgKind::StateUpdate, m) {
+                        self.caches[node.idx()].insert(StateRecord {
+                            subject,
+                            avail,
+                            stored_at: ctx.now,
+                        });
+                    }
+                }
+                // Budget exhausted: drop; the next cycle re-publishes.
+            }
+            PidMsg::Index {
+                id,
+                dim_no,
+                dim_ttl,
+            } => self.relay_index(ctx, node, id, dim_no, dim_ttl),
+            PidMsg::DutyQuery {
+                qid,
+                requester,
+                demand,
+                target,
+                delta,
+                hops_left,
+            } => {
+                let here = ctx
+                    .can
+                    .zone(node)
+                    .is_some_and(|z| z.contains(&target));
+                if here {
+                    self.handle_duty(ctx, node, qid, requester, demand, delta);
+                } else if hops_left == 0 {
+                    // Routing budget exhausted: settle at the closest node
+                    // reached (best effort) rather than wandering.
+                    self.handle_duty(ctx, node, qid, requester, demand, delta);
+                } else {
+                    let m = PidMsg::DutyQuery {
+                        qid,
+                        requester,
+                        demand,
+                        target,
+                        delta,
+                        hops_left: hops_left - 1,
+                    };
+                    if self.forward_toward(ctx, node, &target, MsgKind::DutyQuery, m) {
+                        self.handle_duty(ctx, node, qid, requester, demand, delta);
+                    }
+                }
+            }
+            PidMsg::IndexAgent {
+                qid,
+                requester,
+                demand,
+                delta,
+                agents,
+            } => {
+                // Algorithm 4: sample a jump list from the local PIList.
+                let jumps = self.pilists[node.idx()].sample(
+                    self.cfg.jump_sample,
+                    ctx.now,
+                    self.cfg.pilist_ttl_ms,
+                    ctx.rng,
+                );
+                self.diag.agent_visits += 1;
+                if jumps.is_empty() {
+                    self.diag.agent_pil_empty += 1;
+                }
+                let budget = self.cfg.jump_budget;
+                self.continue_jump(ctx, node, qid, requester, demand, delta, jumps, agents, budget);
+            }
+            PidMsg::IndexJump {
+                qid,
+                requester,
+                demand,
+                mut delta,
+                mut jumps,
+                agents,
+                budget,
+            } => {
+                // Algorithm 5: search the local cache.
+                let found = self.caches[node.idx()].qualified(&demand, ctx.now);
+                self.diag.jump_visits += 1;
+                if !found.is_empty() {
+                    self.diag.jump_hits += 1;
+                    delta = delta.saturating_sub(found.len());
+                    let cands = found
+                        .iter()
+                        .map(|r| Candidate {
+                            node: r.subject,
+                            avail: r.avail,
+                        })
+                        .collect();
+                    self.notify_found(ctx, node, qid, requester, cands);
+                } else if budget > 0 {
+                    // §III-B1 relay: extend the chain with this index
+                    // node's own positive-index knowledge.
+                    for extra in self.pilists[node.idx()].sample(
+                        self.cfg.jump_refill,
+                        ctx.now,
+                        self.cfg.pilist_ttl_ms,
+                        ctx.rng,
+                    ) {
+                        if extra != node && !jumps.contains(&extra) {
+                            jumps.push(extra);
+                        }
+                    }
+                }
+                if delta > 0 {
+                    self.continue_jump(
+                        ctx, node, qid, requester, demand, delta, jumps, agents, budget,
+                    );
+                }
+            }
+            PidMsg::Found { qid, candidates } => {
+                self.note_found(qid, candidates.len());
+                ctx.query_results(qid, candidates);
+            }
+            PidMsg::Exhausted { qid } => self.handle_exhausted(ctx, node, qid),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, PidMsg>, node: NodeId, kind: u32) {
+        match kind {
+            T_STATE => {
+                let avail = ctx.host.availability(node);
+                let target = {
+                    let cmax = *ctx.host.cmax();
+                    self.key_point(&cmax, &avail, ctx.rng)
+                };
+                let msg = PidMsg::StateUpdate {
+                    subject: node,
+                    avail,
+                    target,
+                    hops_left: self.route_budget,
+                };
+                if self.forward_toward(ctx, node, &target, MsgKind::StateUpdate, msg) {
+                    self.caches[node.idx()].insert(StateRecord {
+                        subject: node,
+                        avail,
+                        stored_at: ctx.now,
+                    });
+                }
+                ctx.timer(node, T_STATE, self.cfg.state_update_ms);
+            }
+            T_DIFFUSE => {
+                self.caches[node.idx()].purge_expired(ctx.now);
+                self.pilists[node.idx()].purge(ctx.now, self.cfg.pilist_ttl_ms);
+                if !self.caches[node.idx()].is_empty_at(ctx.now) {
+                    self.diffuse_index(ctx, node);
+                }
+                ctx.timer(node, T_DIFFUSE, self.cfg.diffusion_ms);
+            }
+            T_REFRESH => {
+                let stats = self.tables.refresh_node(node, ctx.can, ctx.rng);
+                ctx.charge(node, MsgKind::Maintenance, stats.probe_msgs);
+                ctx.timer(node, T_REFRESH, self.cfg.table_refresh_ms);
+            }
+            _ => unreachable!("unknown PID-CAN timer {kind}"),
+        }
+    }
+
+    fn start_query(&mut self, ctx: &mut Ctx<'_, PidMsg>, req: QueryRequest) {
+        let slacked = self.cfg.sos;
+        let effective = if slacked {
+            let cmax = *ctx.host.cmax();
+            Self::slack_vector(&req.demand, &cmax, ctx.rng)
+        } else {
+            req.demand
+        };
+        self.queries.insert(
+            req.qid,
+            QueryState {
+                requester: req.requester,
+                original: req.demand,
+                slacked,
+                found: 0,
+                wanted: req.wanted,
+            },
+        );
+        self.issue_query(ctx, req.requester, req.qid, effective, req.demand, req.wanted);
+    }
+
+    fn on_node_joined(&mut self, ctx: &mut Ctx<'_, PidMsg>, node: NodeId) {
+        self.caches[node.idx()] = RecordCache::new(self.cfg.record_ttl_ms);
+        self.pilists[node.idx()] = PiList::new();
+        let stats = self.tables.refresh_node(node, ctx.can, ctx.rng);
+        ctx.charge(node, MsgKind::Maintenance, stats.probe_msgs);
+        self.arm_node_timers(ctx, node);
+    }
+
+    fn on_node_left(&mut self, _ctx: &mut Ctx<'_, PidMsg>, node: NodeId) {
+        self.caches[node.idx()] = RecordCache::new(self.cfg.record_ttl_ms);
+        self.pilists[node.idx()] = PiList::new();
+        self.tables.clear_node(node);
+        // Abandon queries the departed requester owned. Fingers elsewhere
+        // that still point at the dead node are skipped by routing and
+        // fixed by the periodic refresh / `on_zones_reassigned`.
+        self.queries.retain(|_, q| q.requester != node);
+    }
+
+    fn on_zones_reassigned(&mut self, ctx: &mut Ctx<'_, PidMsg>, affected: &[NodeId]) {
+        // §IV-B departure maintenance: nodes whose zones changed rebuild
+        // their fingers immediately (charged as maintenance traffic).
+        for &node in affected {
+            if ctx.host.is_alive(node) {
+                let stats = self.tables.refresh_node(node, ctx.can, ctx.rng);
+                ctx.charge(node, MsgKind::Maintenance, stats.probe_msgs);
+            }
+        }
+    }
+
+    fn on_message_dropped(
+        &mut self,
+        ctx: &mut Ctx<'_, PidMsg>,
+        from: NodeId,
+        to: NodeId,
+        msg: PidMsg,
+    ) {
+        if !ctx.host.is_alive(from) {
+            return;
+        }
+        match msg {
+            // Re-route around the observed-dead hop. The overlay normally
+            // reassigns the dead node's zone before the retry; the explicit
+            // `avoid` + liveness filter also covers windows where routing
+            // state still references it.
+            PidMsg::StateUpdate {
+                subject,
+                avail,
+                target,
+                hops_left,
+            } => {
+                if hops_left == 0 {
+                    return;
+                }
+                let m = PidMsg::StateUpdate {
+                    subject,
+                    avail,
+                    target,
+                    hops_left: hops_left - 1,
+                };
+                if self.forward_avoiding(ctx, from, &target, MsgKind::StateUpdate, m, to) {
+                    self.caches[from.idx()].insert(StateRecord {
+                        subject,
+                        avail,
+                        stored_at: ctx.now,
+                    });
+                }
+            }
+            PidMsg::DutyQuery {
+                qid,
+                requester,
+                demand,
+                target,
+                delta,
+                hops_left,
+            } => {
+                if hops_left == 0 {
+                    self.handle_duty(ctx, from, qid, requester, demand, delta);
+                    return;
+                }
+                let m = PidMsg::DutyQuery {
+                    qid,
+                    requester,
+                    demand,
+                    target,
+                    delta,
+                    hops_left: hops_left - 1,
+                };
+                if self.forward_avoiding(ctx, from, &target, MsgKind::DutyQuery, m, to) {
+                    self.handle_duty(ctx, from, qid, requester, demand, delta);
+                }
+            }
+            // Diffusion is best-effort.
+            PidMsg::Index { .. } => {}
+            // Continue the search from the sender, skipping the dead hop.
+            PidMsg::IndexAgent {
+                qid,
+                requester,
+                demand,
+                delta,
+                agents,
+            } => self.continue_with_agents(ctx, from, qid, requester, demand, delta, agents),
+            PidMsg::IndexJump {
+                qid,
+                requester,
+                demand,
+                delta,
+                jumps,
+                agents,
+                budget,
+            } => self.continue_jump(ctx, from, qid, requester, demand, delta, jumps, agents, budget),
+            // The requester died; nothing to deliver to.
+            PidMsg::Found { .. } | PidMsg::Exhausted { .. } => {}
+        }
+    }
+}

@@ -1,0 +1,543 @@
+//! Newscast gossip — the unstructured-P2P baseline (§IV-A).
+//!
+//! *"Newscast gossip protocol is a typical unstructured P2P solution, under
+//! which neighbors of each node are randomly changed based on the Newscast
+//! model over time to enhance message diffusion range and the fan-out
+//! degree (i.e., the number of neighbors) is limited to `log2(n)` to avoid
+//! excessive network traffic."*
+//!
+//! Each node keeps a partial view of `(peer, availability, heartbeat)`
+//! entries capped at `⌈log2 n⌉`. Periodically it picks a random view peer
+//! and the two exchange views, each keeping the freshest entries — the
+//! classic Newscast shuffle. Discovery is a TTL-bounded random walk over
+//! views: every visited node reports its fresh qualified entries to the
+//! requester.
+
+use rand::{Rng, RngExt};
+use soc_net::MsgKind;
+use soc_overlay::{Candidate, Ctx, DiscoveryOverlay, QueryRequest, QueryVerdict};
+use soc_types::{NodeId, QueryId, ResVec, SimMillis};
+
+const T_EXCHANGE: u32 = 0;
+
+/// One partial-view entry.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ViewEntry {
+    /// The peer this entry describes.
+    pub peer: NodeId,
+    /// Its availability when the entry was created.
+    pub avail: ResVec,
+    /// Creation time at the *origin* (freshness for merge).
+    pub heartbeat: SimMillis,
+}
+
+/// Newscast configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct GossipConfig {
+    /// View size cap; `None` = `⌈log2 n⌉` per the paper.
+    pub view_cap: Option<usize>,
+    /// Exchange cycle.
+    pub exchange_ms: SimMillis,
+    /// Entry freshness horizon when answering queries.
+    pub entry_ttl_ms: SimMillis,
+    /// Query random-walk TTL. `None` = 1: the requester checks its own
+    /// partial view and the walk visits two more random peers — the same
+    /// "single query message" budget §I imposes on every protocol. (The
+    /// long-walk variant is an ablation knob.)
+    pub query_ttl: Option<usize>,
+}
+
+impl Default for GossipConfig {
+    fn default() -> Self {
+        GossipConfig {
+            view_cap: None,
+            // Same information cadence as the DHT protocols' 400 s state
+            // updates — the paper equalizes the protocols' traffic, and the
+            // gossip entries are the analogue of state records.
+            exchange_ms: 400_000,
+            entry_ttl_ms: 600_000,
+            query_ttl: None,
+        }
+    }
+}
+
+impl GossipConfig {
+    /// Multiply periods/TTLs by `f` (see `PidCanConfig::scale_cycles`).
+    pub fn scale_cycles(mut self, f: f64) -> Self {
+        let s = |ms: SimMillis| -> SimMillis { ((ms as f64 * f).round() as SimMillis).max(1) };
+        self.exchange_ms = s(self.exchange_ms);
+        self.entry_ttl_ms = s(self.entry_ttl_ms);
+        self
+    }
+}
+
+/// Newscast wire messages.
+#[derive(Clone, Debug)]
+pub enum GossipMsg {
+    /// View exchange: the sender's view (plus its own fresh entry).
+    /// `reply = true` asks the receiver to send its view back.
+    Exchange {
+        /// Entries offered.
+        entries: Vec<ViewEntry>,
+        /// Whether the receiver should reply with its own view.
+        reply: bool,
+    },
+    /// TTL-bounded discovery walk.
+    Query {
+        /// Query identity.
+        qid: QueryId,
+        /// Requester (receives results).
+        requester: NodeId,
+        /// Demand vector.
+        demand: ResVec,
+        /// Results still wanted.
+        wanted: usize,
+        /// Remaining hops.
+        ttl: usize,
+    },
+    /// Results reported back to the requester.
+    Found {
+        /// Query identity.
+        qid: QueryId,
+        /// Qualified view entries.
+        candidates: Vec<Candidate>,
+    },
+    /// Walk ended without satisfying the requester.
+    Exhausted {
+        /// Query identity.
+        qid: QueryId,
+    },
+}
+
+/// The Newscast protocol state.
+pub struct Newscast {
+    cfg: GossipConfig,
+    views: Vec<Vec<ViewEntry>>,
+    view_cap: usize,
+    query_ttl: usize,
+}
+
+impl Newscast {
+    /// Build for `n` expected nodes with id capacity `max_nodes`.
+    pub fn new(cfg: GossipConfig, n: usize, max_nodes: usize) -> Self {
+        let log2n = (n.max(2) as f64).log2().ceil() as usize;
+        Newscast {
+            cfg,
+            views: vec![Vec::new(); max_nodes],
+            view_cap: cfg.view_cap.unwrap_or(log2n).max(1),
+            query_ttl: cfg.query_ttl.unwrap_or(2),
+        }
+    }
+
+    /// Current view of `node` (diagnostics).
+    pub fn view(&self, node: NodeId) -> &[ViewEntry] {
+        &self.views[node.idx()]
+    }
+
+    /// View size cap in effect.
+    pub fn view_cap(&self) -> usize {
+        self.view_cap
+    }
+
+    /// Merge `incoming` into `node`'s view: freshest entry per peer wins,
+    /// then keep the `view_cap` freshest overall (Newscast rule).
+    fn merge_view(&mut self, node: NodeId, incoming: &[ViewEntry]) {
+        let view = &mut self.views[node.idx()];
+        for e in incoming {
+            if e.peer == node {
+                continue; // never keep an entry about ourselves
+            }
+            match view.iter_mut().find(|v| v.peer == e.peer) {
+                Some(v) => {
+                    if e.heartbeat > v.heartbeat {
+                        *v = *e;
+                    }
+                }
+                None => view.push(*e),
+            }
+        }
+        view.sort_by_key(|v| (std::cmp::Reverse(v.heartbeat), v.peer));
+        view.truncate(self.view_cap);
+    }
+
+    /// The sender's offer: its view plus a fresh self-entry.
+    fn offer(&self, ctx: &Ctx<'_, GossipMsg>, node: NodeId) -> Vec<ViewEntry> {
+        let mut entries = self.views[node.idx()].clone();
+        entries.push(ViewEntry {
+            peer: node,
+            avail: ctx.host.availability(node),
+            heartbeat: ctx.now,
+        });
+        entries
+    }
+
+    /// Fresh entries in `node`'s view qualifying `demand`.
+    fn qualified(&self, node: NodeId, demand: &ResVec, now: SimMillis) -> Vec<Candidate> {
+        self.views[node.idx()]
+            .iter()
+            .filter(|e| now.saturating_sub(e.heartbeat) <= self.cfg.entry_ttl_ms)
+            .filter(|e| e.avail.dominates(demand))
+            .map(|e| Candidate {
+                node: e.peer,
+                avail: e.avail,
+            })
+            .collect()
+    }
+
+    fn random_view_peer<R: Rng>(&self, node: NodeId, rng: &mut R) -> Option<NodeId> {
+        let v = &self.views[node.idx()];
+        if v.is_empty() {
+            None
+        } else {
+            Some(v[rng.random_range(0..v.len())].peer)
+        }
+    }
+
+    /// Continue (or end) a query walk from `node`.
+    #[allow(clippy::too_many_arguments)]
+    fn walk_on(
+        &mut self,
+        ctx: &mut Ctx<'_, GossipMsg>,
+        node: NodeId,
+        qid: QueryId,
+        requester: NodeId,
+        demand: ResVec,
+        wanted: usize,
+        ttl: usize,
+    ) {
+        if wanted == 0 {
+            return;
+        }
+        if ttl == 0 {
+            if node == requester {
+                ctx.query_done(qid, QueryVerdict::Exhausted);
+            } else {
+                ctx.send(
+                    node,
+                    requester,
+                    MsgKind::FoundNotify,
+                    GossipMsg::Exhausted { qid },
+                );
+            }
+            return;
+        }
+        match self.random_view_peer(node, ctx.rng) {
+            Some(next) => ctx.send(
+                node,
+                next,
+                MsgKind::DutyQuery,
+                GossipMsg::Query {
+                    qid,
+                    requester,
+                    demand,
+                    wanted,
+                    ttl: ttl - 1,
+                },
+            ),
+            None => {
+                // Empty view: dead end.
+                if node == requester {
+                    ctx.query_done(qid, QueryVerdict::Exhausted);
+                } else {
+                    ctx.send(
+                        node,
+                        requester,
+                        MsgKind::FoundNotify,
+                        GossipMsg::Exhausted { qid },
+                    );
+                }
+            }
+        }
+    }
+
+    fn bootstrap_view(&mut self, ctx: &mut Ctx<'_, GossipMsg>, node: NodeId) {
+        // Seed with a few random live peers (a tracker/bootstrap service).
+        let live: Vec<NodeId> = ctx.can.live_nodes().filter(|&p| p != node).collect();
+        if live.is_empty() {
+            return;
+        }
+        for _ in 0..self.view_cap.min(4) {
+            let p = live[ctx.rng.random_range(0..live.len())];
+            let avail = ctx.host.availability(p);
+            self.merge_view(
+                node,
+                &[ViewEntry {
+                    peer: p,
+                    avail,
+                    heartbeat: ctx.now,
+                }],
+            );
+        }
+    }
+}
+
+impl DiscoveryOverlay for Newscast {
+    type Msg = GossipMsg;
+
+    fn name(&self) -> &'static str {
+        "Newscast"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, GossipMsg>) {
+        let nodes: Vec<NodeId> = ctx.can.live_nodes().collect();
+        for node in nodes {
+            self.bootstrap_view(ctx, node);
+            let phase = ctx.rng.random_range(0..self.cfg.exchange_ms.max(1));
+            ctx.timer(node, T_EXCHANGE, phase);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, GossipMsg>, node: NodeId, msg: GossipMsg) {
+        match msg {
+            GossipMsg::Exchange { entries, reply } => {
+                if reply {
+                    let mine = self.offer(ctx, node);
+                    // Reply to the freshest sender entry (the initiator put
+                    // itself in the offer).
+                    if let Some(initiator) = entries.iter().max_by_key(|e| e.heartbeat) {
+                        ctx.send(
+                            node,
+                            initiator.peer,
+                            MsgKind::GossipExchange,
+                            GossipMsg::Exchange {
+                                entries: mine,
+                                reply: false,
+                            },
+                        );
+                    }
+                }
+                self.merge_view(node, &entries);
+            }
+            GossipMsg::Query {
+                qid,
+                requester,
+                demand,
+                wanted,
+                ttl,
+            } => {
+                let found = self.qualified(node, &demand, ctx.now);
+                let still_wanted = wanted.saturating_sub(found.len());
+                if !found.is_empty() {
+                    if node == requester {
+                        ctx.query_results(qid, found);
+                    } else {
+                        ctx.send(
+                            node,
+                            requester,
+                            MsgKind::FoundNotify,
+                            GossipMsg::Found {
+                                qid,
+                                candidates: found,
+                            },
+                        );
+                    }
+                }
+                self.walk_on(ctx, node, qid, requester, demand, still_wanted, ttl);
+            }
+            GossipMsg::Found { qid, candidates } => {
+                ctx.query_results(qid, candidates);
+            }
+            GossipMsg::Exhausted { qid } => {
+                ctx.query_done(qid, QueryVerdict::Exhausted);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, GossipMsg>, node: NodeId, kind: u32) {
+        debug_assert_eq!(kind, T_EXCHANGE);
+        if let Some(peer) = self.random_view_peer(node, ctx.rng) {
+            let offer = self.offer(ctx, node);
+            ctx.send(
+                node,
+                peer,
+                MsgKind::GossipExchange,
+                GossipMsg::Exchange {
+                    entries: offer,
+                    reply: true,
+                },
+            );
+        } else {
+            self.bootstrap_view(ctx, node);
+        }
+        ctx.timer(node, T_EXCHANGE, self.cfg.exchange_ms);
+    }
+
+    fn start_query(&mut self, ctx: &mut Ctx<'_, GossipMsg>, req: QueryRequest) {
+        // Check our own view first, then walk.
+        let found = self.qualified(req.requester, &req.demand, ctx.now);
+        if !found.is_empty() {
+            ctx.query_results(req.qid, found.clone());
+        }
+        let still_wanted = req.wanted.saturating_sub(found.len());
+        self.walk_on(
+            ctx,
+            req.requester,
+            req.qid,
+            req.requester,
+            req.demand,
+            still_wanted,
+            self.query_ttl,
+        );
+    }
+
+    fn on_node_joined(&mut self, ctx: &mut Ctx<'_, GossipMsg>, node: NodeId) {
+        self.views[node.idx()].clear();
+        self.bootstrap_view(ctx, node);
+        let phase = ctx.rng.random_range(0..self.cfg.exchange_ms.max(1));
+        ctx.timer(node, T_EXCHANGE, phase);
+    }
+
+    fn on_node_left(&mut self, _ctx: &mut Ctx<'_, GossipMsg>, node: NodeId) {
+        self.views[node.idx()].clear();
+        // Stale entries about the departed peer age out of other views.
+    }
+
+    fn on_message_dropped(
+        &mut self,
+        ctx: &mut Ctx<'_, GossipMsg>,
+        from: NodeId,
+        to: NodeId,
+        msg: GossipMsg,
+    ) {
+        // The sender observed `to` dead: purge it from the view; retry the
+        // walk elsewhere.
+        if !ctx.host.is_alive(from) {
+            return;
+        }
+        self.views[from.idx()].retain(|e| e.peer != to);
+        if let GossipMsg::Query {
+            qid,
+            requester,
+            demand,
+            wanted,
+            ttl,
+        } = msg
+        {
+            self.walk_on(ctx, from, qid, requester, demand, wanted, ttl);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use soc_can::CanOverlay;
+    use soc_overlay::testkit::{TestHarness, TestHost};
+
+    const N: usize = 64;
+
+    fn world(seed: u64) -> TestHarness<Newscast> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let can = CanOverlay::bootstrap(2, N, N, &mut rng);
+        let cmax = ResVec::from_slice(&[10.0, 10.0]);
+        let mut host = TestHost::uniform(N, ResVec::from_slice(&[5.0, 5.0]), cmax);
+        for i in 0..N {
+            let f = 0.15 + 0.8 * (i as f64 / N as f64);
+            host.avails[i] = ResVec::from_slice(&[10.0 * f, 10.0 * f]);
+        }
+        let proto = Newscast::new(GossipConfig::default(), N, N);
+        TestHarness::new(proto, can, host, seed)
+    }
+
+    #[test]
+    fn views_fill_and_stay_capped() {
+        let mut h = world(1);
+        h.run_until(600_000);
+        let cap = h.proto.view_cap();
+        let mut filled = 0;
+        for i in 0..N {
+            let v = h.proto.view(NodeId(i as u32));
+            assert!(v.len() <= cap, "view overflow: {}", v.len());
+            if v.len() == cap {
+                filled += 1;
+            }
+            // No self-entries.
+            assert!(v.iter().all(|e| e.peer != NodeId(i as u32)));
+        }
+        assert!(filled > N / 2, "only {filled} full views");
+    }
+
+    #[test]
+    fn exchanges_spread_fresh_information() {
+        let mut h = world(2);
+        h.run_until(600_000);
+        assert!(h.stats.count(MsgKind::GossipExchange) > 0);
+        // Entries should be recent (within a few exchange cycles).
+        let now = h.now();
+        for i in 0..N {
+            for e in h.proto.view(NodeId(i as u32)) {
+                assert!(now - e.heartbeat < 4 * 400_000, "stale entry survived");
+            }
+        }
+    }
+
+    #[test]
+    fn query_walk_finds_candidates() {
+        let mut h = world(3);
+        h.run_until(600_000);
+        let demand = ResVec::from_slice(&[2.0, 2.0]);
+        let qid = QueryId(1);
+        h.start_query(QueryRequest {
+            qid,
+            requester: NodeId(0),
+            demand,
+            wanted: 3,
+        });
+        let deadline = h.now() + 60_000;
+        h.run_until(deadline);
+        let results = h.results.get(&qid).cloned().unwrap_or_default();
+        assert!(!results.is_empty(), "walk found nothing");
+        for c in &results {
+            assert!(c.avail.dominates(&demand));
+        }
+    }
+
+    #[test]
+    fn impossible_query_exhausts() {
+        let mut h = world(4);
+        h.run_until(600_000);
+        let qid = QueryId(2);
+        h.start_query(QueryRequest {
+            qid,
+            requester: NodeId(1),
+            demand: ResVec::from_slice(&[9.9, 9.9]),
+            wanted: 1,
+        });
+        let deadline = h.now() + 60_000;
+        h.run_until(deadline);
+        assert!(h.results.get(&qid).map_or(true, |r| r.is_empty()));
+        assert_eq!(h.done.get(&qid), Some(&QueryVerdict::Exhausted));
+    }
+
+    #[test]
+    fn dead_peers_are_purged_on_drop() {
+        let mut h = world(5);
+        h.run_until(600_000);
+        // Kill half the nodes behind the protocol's back.
+        for i in (0..N).step_by(2).skip(1) {
+            h.host.alive[i] = false;
+        }
+        let qid = QueryId(3);
+        h.start_query(QueryRequest {
+            qid,
+            requester: NodeId(0),
+            demand: ResVec::from_slice(&[2.0, 2.0]),
+            wanted: 2,
+        });
+        let deadline = h.now() + 120_000;
+        h.run_until(deadline);
+        let got = h.results.get(&qid).map_or(0, |r| r.len());
+        let done = h.done.contains_key(&qid);
+        assert!(got > 0 || done, "query hung against dead peers");
+    }
+
+    #[test]
+    fn view_cap_follows_log2_n() {
+        let p = Newscast::new(GossipConfig::default(), 2000, 2000);
+        assert_eq!(p.view_cap(), 11); // ⌈log2 2000⌉ = 11
+        let p = Newscast::new(GossipConfig::default(), 64, 64);
+        assert_eq!(p.view_cap(), 6);
+    }
+}

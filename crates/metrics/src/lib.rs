@@ -1,0 +1,17 @@
+//! Evaluation metrics: T-Ratio, F-Ratio, Jain fairness index, time series.
+//!
+//! §II and §IV-A define them:
+//!
+//! * **F-Ratio(t)** — failed tasks (no qualified node found) over generated
+//!   tasks, up to time `t`.
+//! * **T-Ratio(t)** — finished tasks over generated tasks, up to `t`.
+//! * **Fairness** — Jain's index over per-task *execution efficiencies*
+//!   `e_ij = expected execution time / real completion time`, where the
+//!   expected time uses the system-wide average capacity (Equation (4)).
+//! * **Message delivery cost** — see `soc-net`'s `MsgStats`.
+
+pub mod fairness;
+pub mod tracker;
+
+pub use fairness::{jain_index, EfficiencyLog};
+pub use tracker::{MetricPoint, TaskOutcome, TaskTracker};

@@ -1,0 +1,202 @@
+//! Message-delivery accounting (the paper's "message delivery cost").
+
+use soc_types::NodeId;
+
+/// Every message class exchanged by any protocol in the evaluation.
+///
+/// Table III's "msg delivery cost" sums all of these; keeping them separate
+/// also lets the benches report per-class breakdowns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum MsgKind {
+    /// Periodic availability-state record routed to its duty node.
+    StateUpdate = 0,
+    /// PID-CAN index diffusion (`{ID, dim_NO, dim_TTL}`) messages.
+    IndexDiffusion = 1,
+    /// Query routing toward the duty node (Algorithm 3).
+    DutyQuery = 2,
+    /// Index-agent messages (Algorithm 4).
+    IndexAgent = 3,
+    /// Index-jump messages (Algorithm 5).
+    IndexJump = 4,
+    /// FoundList (`ϕ`) notifications back to the requester.
+    FoundNotify = 5,
+    /// Task dispatch to the selected execution node.
+    Dispatch = 6,
+    /// Newscast view-exchange messages.
+    GossipExchange = 7,
+    /// KHDN-CAN record replication to K-hop negative neighbors.
+    KhdnReplicate = 8,
+    /// INSCAN index-table refresh probes and churn repair traffic.
+    Maintenance = 9,
+    /// INSCAN-RQ flood messages (strawman range query).
+    RqFlood = 10,
+}
+
+/// Number of message classes.
+pub const MSG_KINDS: usize = 11;
+
+impl MsgKind {
+    /// All kinds, for iteration/reporting.
+    pub const ALL: [MsgKind; MSG_KINDS] = [
+        MsgKind::StateUpdate,
+        MsgKind::IndexDiffusion,
+        MsgKind::DutyQuery,
+        MsgKind::IndexAgent,
+        MsgKind::IndexJump,
+        MsgKind::FoundNotify,
+        MsgKind::Dispatch,
+        MsgKind::GossipExchange,
+        MsgKind::KhdnReplicate,
+        MsgKind::Maintenance,
+        MsgKind::RqFlood,
+    ];
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            MsgKind::StateUpdate => "state-update",
+            MsgKind::IndexDiffusion => "index-diffusion",
+            MsgKind::DutyQuery => "duty-query",
+            MsgKind::IndexAgent => "index-agent",
+            MsgKind::IndexJump => "index-jump",
+            MsgKind::FoundNotify => "found-notify",
+            MsgKind::Dispatch => "dispatch",
+            MsgKind::GossipExchange => "gossip-exchange",
+            MsgKind::KhdnReplicate => "khdn-replicate",
+            MsgKind::Maintenance => "maintenance",
+            MsgKind::RqFlood => "rq-flood",
+        }
+    }
+}
+
+/// Counters of messages *sent or forwarded*, per kind and per node.
+#[derive(Clone, Debug)]
+pub struct MsgStats {
+    by_kind: [u64; MSG_KINDS],
+    by_node: Vec<u64>,
+    total: u64,
+}
+
+impl MsgStats {
+    /// Counters for `n` nodes, all zero.
+    pub fn new(n: usize) -> Self {
+        MsgStats {
+            by_kind: [0; MSG_KINDS],
+            by_node: vec![0; n],
+            total: 0,
+        }
+    }
+
+    /// Record one message of `kind` sent (or forwarded) by `from`.
+    #[inline]
+    pub fn record(&mut self, kind: MsgKind, from: NodeId) {
+        self.record_n(kind, from, 1);
+    }
+
+    /// Record `n` messages at once (synchronous maintenance walks).
+    #[inline]
+    pub fn record_n(&mut self, kind: MsgKind, from: NodeId, n: u64) {
+        self.by_kind[kind as usize] += n;
+        self.by_node[from.idx()] += n;
+        self.total += n;
+    }
+
+    /// Total messages of `kind`.
+    pub fn count(&self, kind: MsgKind) -> u64 {
+        self.by_kind[kind as usize]
+    }
+
+    /// Total messages across all kinds.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Messages sent/forwarded by one node.
+    pub fn sent_by(&self, node: NodeId) -> u64 {
+        self.by_node[node.idx()]
+    }
+
+    /// The paper's headline metric: mean messages sent/forwarded per node.
+    pub fn per_node_cost(&self) -> f64 {
+        if self.by_node.is_empty() {
+            0.0
+        } else {
+            self.total as f64 / self.by_node.len() as f64
+        }
+    }
+
+    /// Per-kind breakdown `(kind, count)`, descending by count.
+    pub fn breakdown(&self) -> Vec<(MsgKind, u64)> {
+        let mut v: Vec<(MsgKind, u64)> = MsgKind::ALL
+            .iter()
+            .map(|&k| (k, self.count(k)))
+            .filter(|&(_, c)| c > 0)
+            .collect();
+        v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        v
+    }
+
+    /// Reset all counters (between scenario repetitions).
+    pub fn clear(&mut self) {
+        self.by_kind = [0; MSG_KINDS];
+        self.by_node.iter_mut().for_each(|c| *c = 0);
+        self.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_updates_all_views() {
+        let mut s = MsgStats::new(4);
+        s.record(MsgKind::StateUpdate, NodeId(0));
+        s.record(MsgKind::StateUpdate, NodeId(1));
+        s.record(MsgKind::IndexJump, NodeId(0));
+        assert_eq!(s.count(MsgKind::StateUpdate), 2);
+        assert_eq!(s.count(MsgKind::IndexJump), 1);
+        assert_eq!(s.count(MsgKind::DutyQuery), 0);
+        assert_eq!(s.sent_by(NodeId(0)), 2);
+        assert_eq!(s.sent_by(NodeId(1)), 1);
+        assert_eq!(s.total(), 3);
+        assert!((s.per_node_cost() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_is_sorted_and_sparse() {
+        let mut s = MsgStats::new(2);
+        for _ in 0..5 {
+            s.record(MsgKind::IndexDiffusion, NodeId(0));
+        }
+        s.record(MsgKind::Dispatch, NodeId(1));
+        let b = s.breakdown();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[0], (MsgKind::IndexDiffusion, 5));
+        assert_eq!(b[1], (MsgKind::Dispatch, 1));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = MsgStats::new(2);
+        s.record(MsgKind::Maintenance, NodeId(1));
+        s.clear();
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.sent_by(NodeId(1)), 0);
+    }
+
+    #[test]
+    fn all_kinds_have_labels() {
+        for k in MsgKind::ALL {
+            assert!(!k.label().is_empty());
+        }
+        assert_eq!(MsgKind::ALL.len(), MSG_KINDS);
+    }
+
+    #[test]
+    fn empty_stats_cost_is_zero() {
+        let s = MsgStats::new(0);
+        assert_eq!(s.per_node_cost(), 0.0);
+    }
+}

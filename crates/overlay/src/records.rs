@@ -1,0 +1,177 @@
+//! The per-node state-record cache `γ`.
+//!
+//! Duty nodes collect availability records routed to their zone; records
+//! carry a TTL ("The TTL (or age) of each state-update message is 600
+//! seconds", §IV-A) and a fresher record from the same subject node replaces
+//! the older one.
+
+use soc_types::{NodeId, ResVec, SimMillis};
+use std::collections::BTreeMap;
+
+/// One cached availability record: "node `subject` had availability `avail`
+/// as of `stored_at`".
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StateRecord {
+    /// The node whose resources the record describes.
+    pub subject: NodeId,
+    /// Its availability vector `a_i` (raw resource units).
+    pub avail: ResVec,
+    /// When the record was stored at the cache.
+    pub stored_at: SimMillis,
+}
+
+/// TTL'd cache of state records, keyed by subject node.
+#[derive(Clone, Debug)]
+pub struct RecordCache {
+    ttl_ms: SimMillis,
+    // BTreeMap (not HashMap) so iteration order — and therefore FoundList
+    // order and every downstream random draw — is deterministic per seed.
+    records: BTreeMap<NodeId, StateRecord>,
+}
+
+impl RecordCache {
+    /// Cache with the given record TTL.
+    pub fn new(ttl_ms: SimMillis) -> Self {
+        RecordCache {
+            ttl_ms,
+            records: BTreeMap::new(),
+        }
+    }
+
+    /// The paper's configuration: 600 s TTL.
+    pub fn paper() -> Self {
+        Self::new(600_000)
+    }
+
+    /// Record TTL.
+    pub fn ttl_ms(&self) -> SimMillis {
+        self.ttl_ms
+    }
+
+    /// Insert/replace the record for its subject. Keeps the newer one if a
+    /// record for the same subject is already present.
+    pub fn insert(&mut self, rec: StateRecord) {
+        match self.records.get(&rec.subject) {
+            Some(old) if old.stored_at > rec.stored_at => {}
+            _ => {
+                self.records.insert(rec.subject, rec);
+            }
+        }
+    }
+
+    /// Remove expired records; returns how many were dropped.
+    pub fn purge_expired(&mut self, now: SimMillis) -> usize {
+        let ttl = self.ttl_ms;
+        let before = self.records.len();
+        self.records
+            .retain(|_, r| now.saturating_sub(r.stored_at) <= ttl);
+        before - self.records.len()
+    }
+
+    /// Remove the record about `subject` (e.g. it churned away).
+    pub fn remove(&mut self, subject: NodeId) -> Option<StateRecord> {
+        self.records.remove(&subject)
+    }
+
+    /// Is the cache empty of *fresh* records at `now`? (Algorithm 1's
+    /// "cache γ is non-empty" test.)
+    pub fn is_empty_at(&self, now: SimMillis) -> bool {
+        !self
+            .records
+            .values()
+            .any(|r| now.saturating_sub(r.stored_at) <= self.ttl_ms)
+    }
+
+    /// Number of records (including possibly-expired ones not yet purged).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records are stored at all.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Fresh records whose availability dominates `demand` (Inequality (2)),
+    /// i.e. the cache's qualified `FoundList` candidates.
+    pub fn qualified(&self, demand: &ResVec, now: SimMillis) -> Vec<StateRecord> {
+        self.records
+            .values()
+            .filter(|r| now.saturating_sub(r.stored_at) <= self.ttl_ms)
+            .filter(|r| r.avail.dominates(demand))
+            .copied()
+            .collect()
+    }
+
+    /// All fresh records.
+    pub fn fresh(&self, now: SimMillis) -> Vec<StateRecord> {
+        self.records
+            .values()
+            .filter(|r| now.saturating_sub(r.stored_at) <= self.ttl_ms)
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(subject: u32, avail: &[f64], at: SimMillis) -> StateRecord {
+        StateRecord {
+            subject: NodeId(subject),
+            avail: ResVec::from_slice(avail),
+            stored_at: at,
+        }
+    }
+
+    #[test]
+    fn insert_replaces_older_same_subject() {
+        let mut c = RecordCache::new(600_000);
+        c.insert(rec(1, &[1.0, 1.0], 1_000));
+        c.insert(rec(1, &[2.0, 2.0], 2_000));
+        assert_eq!(c.len(), 1);
+        let fresh = c.fresh(2_000);
+        assert_eq!(fresh[0].avail[0], 2.0);
+        // Stale duplicate does not clobber the newer record.
+        c.insert(rec(1, &[9.0, 9.0], 500));
+        assert_eq!(c.fresh(2_000)[0].avail[0], 2.0);
+    }
+
+    #[test]
+    fn ttl_expiry() {
+        let mut c = RecordCache::new(600_000);
+        c.insert(rec(1, &[1.0], 0));
+        assert!(!c.is_empty_at(600_000)); // exactly at TTL: still fresh
+        assert!(c.is_empty_at(600_001));
+        assert_eq!(c.purge_expired(700_000), 1);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn qualified_filters_by_dominance_and_freshness() {
+        let mut c = RecordCache::new(600_000);
+        c.insert(rec(1, &[4.0, 4.0], 0)); // qualifies, fresh at 100k
+        c.insert(rec(2, &[1.0, 9.0], 0)); // fails dim 0
+        c.insert(rec(3, &[9.0, 9.0], 0)); // qualifies
+        let demand = ResVec::from_slice(&[2.0, 2.0]);
+        let mut q: Vec<u32> = c
+            .qualified(&demand, 100_000)
+            .iter()
+            .map(|r| r.subject.0)
+            .collect();
+        q.sort();
+        assert_eq!(q, vec![1, 3]);
+        // Far in the future everything expired.
+        assert!(c.qualified(&demand, 10_000_000).is_empty());
+    }
+
+    #[test]
+    fn remove_subject() {
+        let mut c = RecordCache::new(1_000);
+        c.insert(rec(5, &[1.0], 0));
+        assert!(c.remove(NodeId(5)).is_some());
+        assert!(c.remove(NodeId(5)).is_none());
+        assert!(c.is_empty());
+    }
+}

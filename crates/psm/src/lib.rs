@@ -1,0 +1,29 @@
+//! Proportional-share model (PSM) execution — the emulated XEN credit
+//! scheduler of §IV-A.
+//!
+//! Equation (1) of the paper allocates to task `t_ij` on node `p_i`
+//!
+//! ```text
+//! r(t_ij) = e(t_ij) / l_i · c_i        (componentwise)
+//! ```
+//!
+//! where `l_i = Σ_j e(t_ij)` is the aggregate expected load. This is the
+//! steady state of a credit scheduler whose weights are the expected
+//! demands: every resource is divided proportionally, so when `l_i ⪯ c_i`
+//! each task receives *at least* its expectation, and when the node is
+//! over-committed (uncoordinated discovery dispatched too many tasks onto
+//! it) every task slows down below expectation — the contention effect the
+//! paper's T-Ratio measures.
+//!
+//! Task progress is integrated with a fluid-flow approximation: allocation
+//! rates are constant between *membership events* (task arrival/finish), so
+//! remaining work decreases linearly and the next completion time can be
+//! predicted exactly. The simulator schedules that completion event and
+//! invalidates it (via an epoch counter) whenever membership changes first.
+//!
+//! Each running task is a VM instance; §IV-A charges per-VM maintenance
+//! overhead (5% CPU, 10% I/O, 5% network of total capacity, 5 MB memory).
+
+pub mod exec;
+
+pub use exec::{FinishedTask, NodeExec, PsmConfig, RunningTask, VmOverhead};

@@ -1,0 +1,236 @@
+//! The timestamped event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulation time in milliseconds (matches `soc_types::SimMillis`).
+pub type Time = u64;
+
+struct Entry<E> {
+    time: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    // Reversed: BinaryHeap is a max-heap, we want the earliest (time, seq).
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// Events scheduled for the same instant are delivered in scheduling order
+/// (FIFO), which makes simulation runs bit-reproducible regardless of heap
+/// internals.
+///
+/// Popping advances the clock: [`EventQueue::now`] is the timestamp of the
+/// most recently popped event.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    now: Time,
+    seq: u64,
+    scheduled_total: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// An empty queue with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            now: 0,
+            seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Current simulation time: the timestamp of the last popped event.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (diagnostics).
+    #[inline]
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// Scheduling into the past is clamped to `now` — the event fires
+    /// immediately-next rather than violating clock monotonicity.
+    pub fn schedule_at(&mut self, at: Time, event: E) {
+        let time = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Schedule `event` `delay` milliseconds from now.
+    #[inline]
+    pub fn schedule_in(&mut self, delay: Time, event: E) {
+        self.schedule_at(self.now.saturating_add(delay), event);
+    }
+
+    /// Timestamp of the next pending event, if any.
+    #[inline]
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pop the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        let e = self.heap.pop()?;
+        debug_assert!(e.time >= self.now, "clock went backwards");
+        self.now = e.time;
+        Some((e.time, e.event))
+    }
+
+    /// Pop the earliest event only if it fires at or before `deadline`.
+    ///
+    /// When the next event is after `deadline`, the clock jumps to
+    /// `deadline` and `None` is returned — this is how the scenario runner
+    /// stops exactly at the simulated day boundary.
+    pub fn pop_until(&mut self, deadline: Time) -> Option<(Time, E)> {
+        match self.peek_time() {
+            Some(t) if t <= deadline => self.pop(),
+            _ => {
+                if self.now < deadline {
+                    self.now = deadline;
+                }
+                None
+            }
+        }
+    }
+
+    /// Drop all pending events (used between scenario repetitions).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.schedule_at(30, "c");
+        q.schedule_at(10, "a");
+        q.schedule_at(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.now(), 30);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule_at(5, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((5, i)));
+        }
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_in(10, "x");
+        assert_eq!(q.pop(), Some((10, "x")));
+        q.schedule_in(5, "y");
+        assert_eq!(q.pop(), Some((15, "y")));
+    }
+
+    #[test]
+    fn past_scheduling_clamps_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(100, "later");
+        assert_eq!(q.pop(), Some((100, "later")));
+        q.schedule_at(50, "past");
+        assert_eq!(q.pop(), Some((100, "past")));
+    }
+
+    #[test]
+    fn pop_until_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule_at(10, 1);
+        q.schedule_at(200, 2);
+        assert_eq!(q.pop_until(100), Some((10, 1)));
+        assert_eq!(q.pop_until(100), None);
+        assert_eq!(q.now(), 100); // clock advanced to the deadline
+        assert_eq!(q.len(), 1); // the 200-event is still pending
+        assert_eq!(q.pop_until(300), Some((200, 2)));
+    }
+
+    #[test]
+    fn counters_and_clear() {
+        let mut q = EventQueue::new();
+        q.schedule_at(1, ());
+        q.schedule_at(2, ());
+        assert_eq!(q.scheduled_total(), 2);
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.scheduled_total(), 2);
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_preserves_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(10, "a");
+        q.schedule_at(30, "c");
+        assert_eq!(q.pop(), Some((10, "a")));
+        q.schedule_in(10, "b"); // at 20
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+    }
+}

@@ -1,0 +1,159 @@
+//! Run reports: everything a bench/figure needs from one scenario run.
+
+use soc_metrics::MetricPoint;
+use soc_net::MsgKind;
+
+/// Aggregated outcome of one scenario run.
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RunReport {
+    /// Protocol label (paper legend name).
+    pub label: String,
+    /// Scenario descriptor (`n`, λ, churn, seed).
+    pub scenario: String,
+    /// Hourly metric samples (the plotted series of Fig. 4–8).
+    pub series: Vec<MetricPoint>,
+    /// Tasks generated over the run.
+    pub generated: u64,
+    /// Tasks finished.
+    pub finished: u64,
+    /// Tasks that failed discovery.
+    pub failed: u64,
+    /// Tasks killed by churn.
+    pub killed: u64,
+    /// Tasks whose candidates all rejected them on arrival (contention
+    /// casualties — depress T-Ratio, excluded from F-Ratio).
+    pub rejected: u64,
+    /// Checkpoint-recovered resubmissions after churn kills (0 unless
+    /// `Scenario::checkpointing`).
+    pub checkpoint_resubmits: u64,
+    /// Tasks satisfied by the local scheduler (never queried the overlay).
+    pub local_generated: u64,
+    /// Locally-run tasks that finished.
+    pub local_finished: u64,
+    /// Oracle: of the issued queries, how many had ≥1 qualified live node
+    /// at issue time (`None` unless `Scenario::oracle`).
+    pub oracle_matchable: Option<u64>,
+    /// Oracle: of the issued queries, how many had ≥1 qualified *cached
+    /// record* somewhere in the overlay at issue time (protocol-dependent;
+    /// `None` when unsupported or oracle off).
+    pub oracle_record_matchable: Option<u64>,
+    /// Oracle: mean number of live nodes qualifying a query at issue time.
+    pub oracle_mean_matching: Option<f64>,
+    /// Final T-Ratio.
+    pub t_ratio: f64,
+    /// Final F-Ratio.
+    pub f_ratio: f64,
+    /// Final Jain fairness index.
+    pub fairness: f64,
+    /// Mean execution efficiency of finished tasks.
+    pub mean_efficiency: f64,
+    /// Total messages sent/forwarded.
+    pub msg_total: u64,
+    /// The paper's "message delivery cost": messages per node.
+    pub msg_per_node: f64,
+    /// Per-kind message breakdown `(label, count)`, descending.
+    pub msg_breakdown: Vec<(String, u64)>,
+    /// Wall-clock runtime of the simulation (diagnostics only).
+    pub wall_ms: u128,
+    /// Protocol-internal diagnostic counters (free-form).
+    pub diag: String,
+}
+
+impl RunReport {
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<12} {:<24} T-Ratio {:.3}  F-Ratio {:.3}  fairness {:.3}  msgs/node {:.0}  (gen {}, fin {}, fail {}, rej {}, killed {})",
+            self.label,
+            self.scenario,
+            self.t_ratio,
+            self.f_ratio,
+            self.fairness,
+            self.msg_per_node,
+            self.generated,
+            self.finished,
+            self.failed,
+            self.rejected,
+            self.killed,
+        )
+    }
+
+    /// Tab-separated series rows: `hour  t_ratio  f_ratio  fairness` —
+    /// the exact columns the paper plots in Fig. 4–8.
+    pub fn series_rows(&self) -> String {
+        let mut out = String::from("hour\tt_ratio\tf_ratio\tfairness\n");
+        for p in &self.series {
+            out.push_str(&format!(
+                "{:.1}\t{:.4}\t{:.4}\t{:.4}\n",
+                p.t_ms as f64 / 3_600_000.0,
+                p.t_ratio,
+                p.f_ratio,
+                p.fairness
+            ));
+        }
+        out
+    }
+
+    /// Count for one message kind, 0 when absent.
+    pub fn msg_count(&self, kind: MsgKind) -> u64 {
+        self.msg_breakdown
+            .iter()
+            .find(|(l, _)| l == kind.label())
+            .map(|&(_, c)| c)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake() -> RunReport {
+        RunReport {
+            label: "HID-CAN".into(),
+            scenario: "n=100 λ=0.5".into(),
+            series: vec![],
+            generated: 100,
+            finished: 60,
+            failed: 10,
+            killed: 0,
+            rejected: 0,
+            checkpoint_resubmits: 0,
+            local_generated: 40,
+            local_finished: 30,
+            oracle_matchable: None,
+            oracle_record_matchable: None,
+            oracle_mean_matching: None,
+            t_ratio: 0.6,
+            f_ratio: 0.1,
+            fairness: 0.8,
+            mean_efficiency: 0.9,
+            msg_total: 5000,
+            msg_per_node: 50.0,
+            msg_breakdown: vec![("state-update".into(), 3000), ("duty-query".into(), 2000)],
+            wall_ms: 12,
+            diag: String::new(),
+        }
+    }
+
+    #[test]
+    fn summary_contains_key_numbers() {
+        let s = fake().summary();
+        assert!(s.contains("HID-CAN"));
+        assert!(s.contains("0.600"));
+        assert!(s.contains("0.100"));
+    }
+
+    #[test]
+    fn msg_count_lookup() {
+        let r = fake();
+        assert_eq!(r.msg_count(MsgKind::StateUpdate), 3000);
+        assert_eq!(r.msg_count(MsgKind::IndexJump), 0);
+    }
+
+    #[test]
+    fn series_rows_header() {
+        assert!(fake().series_rows().starts_with("hour\t"));
+    }
+}

@@ -1,0 +1,910 @@
+//! The event loop: tasks, queries, dispatch, execution, churn, metrics.
+
+use crate::report::RunReport;
+use crate::scenario::{ProtocolChoice, Scenario};
+use pidcan::{PidCan, PidCanConfig};
+use rand::rngs::SmallRng;
+use rand::RngExt;
+use soc_can::CanOverlay;
+use soc_gossip::{GossipConfig, Newscast};
+use soc_khdn::{KhdnCan, KhdnConfig};
+use soc_metrics::TaskTracker;
+use soc_net::{LanTopology, LatencyConfig, MsgKind, MsgStats};
+use soc_overlay::{
+    Candidate, Ctx, DiscoveryOverlay, Effect, HostInfo, QueryRequest, QueryVerdict,
+};
+use soc_psm::{NodeExec, PsmConfig, RunningTask};
+use soc_simcore::{stream_rng, EventQueue, RngStreams};
+use soc_types::{NodeId, QueryId, ResVec, SimMillis, TaskId, PERF_DIMS};
+use soc_workload::{cmax, DemandSampler, NodeCapacitySampler, PoissonArrivals};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// Host-side state visible to protocols.
+struct Hosts {
+    execs: Vec<NodeExec>,
+    alive: Vec<bool>,
+    cmax: ResVec,
+}
+
+impl HostInfo for Hosts {
+    fn availability(&self, node: NodeId) -> ResVec {
+        self.execs[node.idx()].availability()
+    }
+    fn cmax(&self) -> &ResVec {
+        &self.cmax
+    }
+    fn is_alive(&self, node: NodeId) -> bool {
+        self.alive[node.idx()]
+    }
+}
+
+/// A task en route to its execution node, with fallback candidates in
+/// best-fit order (Inequality (2) is re-checked on arrival; a node that no
+/// longer qualifies rejects, and the requester tries the next candidate).
+#[derive(Clone, Debug)]
+struct DispatchSpec {
+    tid: TaskId,
+    expect: ResVec,
+    duration_s: f64,
+    submitted_at: SimMillis,
+    requester: NodeId,
+    fallbacks: Vec<NodeId>,
+}
+
+/// A discovery in progress.
+struct PendingQuery {
+    requester: NodeId,
+    demand: ResVec,
+    duration_s: f64,
+    wanted: usize,
+    submitted_at: SimMillis,
+    candidates: Vec<Candidate>,
+}
+
+enum Ev<M> {
+    Deliver {
+        /// Sender (kept for tracing parity with the wire format).
+        #[allow(dead_code)]
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+    },
+    ProtoTimer {
+        node: NodeId,
+        kind: u32,
+    },
+    Arrival {
+        node: NodeId,
+    },
+    QueryTimeout {
+        qid: QueryId,
+    },
+    TaskArrive {
+        to: NodeId,
+        spec: DispatchSpec,
+    },
+    Completion {
+        node: NodeId,
+        epoch: u64,
+    },
+    ChurnSwap,
+    Sample,
+}
+
+struct Sim<'s, P: DiscoveryOverlay> {
+    sc: &'s Scenario,
+    proto: P,
+    can: CanOverlay,
+    hosts: Hosts,
+    topo: LanTopology,
+    stats: MsgStats,
+    tracker: TaskTracker,
+    queue: EventQueue<Ev<P::Msg>>,
+    pending: HashMap<QueryId, PendingQuery>,
+    expected_s: Vec<f64>,
+    is_local: Vec<bool>,
+    checkpoint_resubmits: u64,
+    oracle_matchable: u64,
+    oracle_match_sum: u64,
+    oracle_record_matchable: u64,
+    avg_cap: ResVec,
+    demand: DemandSampler,
+    arrivals: PoissonArrivals,
+    next_task: u64,
+    next_query: u64,
+    free_ids: VecDeque<NodeId>,
+    live: Vec<NodeId>,
+    live_pos: Vec<usize>,
+    rng_work: SmallRng,
+    rng_proto: SmallRng,
+    rng_net: SmallRng,
+    rng_churn: SmallRng,
+    rng_overlay: SmallRng,
+}
+
+/// Extra node-id headroom so churn joins get fresh ids before old ones are
+/// recycled (a vacated id re-enters the pool only after the queue drains).
+fn id_headroom(n: usize) -> usize {
+    (n / 4).max(16)
+}
+
+impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
+    fn new(sc: &'s Scenario, proto: P, can_dim: usize) -> Self {
+        let max_nodes = sc.n_nodes + id_headroom(sc.n_nodes);
+        let mut rng_caps = stream_rng(sc.seed, RngStreams::NodeCapacities);
+        let mut rng_overlay = stream_rng(sc.seed, RngStreams::Overlay);
+        let rng_net = stream_rng(sc.seed, RngStreams::Network);
+
+        let sampler = NodeCapacitySampler;
+        let caps: Vec<ResVec> = sampler.sample_n(max_nodes, &mut rng_caps);
+        let avg_cap = {
+            let mut acc = ResVec::zeros(caps[0].dim());
+            for c in &caps[..sc.n_nodes] {
+                acc += *c;
+            }
+            acc / sc.n_nodes as f64
+        };
+
+        let psm_cfg = PsmConfig::default();
+        let execs: Vec<NodeExec> = caps
+            .iter()
+            .map(|c| NodeExec::new(*c, psm_cfg))
+            .collect();
+        let mut alive = vec![false; max_nodes];
+        for a in alive.iter_mut().take(sc.n_nodes) {
+            *a = true;
+        }
+        let can = CanOverlay::bootstrap(can_dim, sc.n_nodes, max_nodes, &mut rng_overlay);
+        let topo = LanTopology::new(
+            max_nodes,
+            sc.lan_size,
+            LatencyConfig::default(),
+            &mut rng_caps,
+        );
+
+        let live: Vec<NodeId> = (0..sc.n_nodes).map(|i| NodeId(i as u32)).collect();
+        let mut live_pos = vec![usize::MAX; max_nodes];
+        for (i, n) in live.iter().enumerate() {
+            live_pos[n.idx()] = i;
+        }
+        let free_ids: VecDeque<NodeId> = (sc.n_nodes..max_nodes)
+            .map(|i| NodeId(i as u32))
+            .collect();
+
+        Sim {
+            sc,
+            proto,
+            can,
+            hosts: Hosts {
+                execs,
+                alive,
+                cmax: cmax(),
+            },
+            topo,
+            stats: MsgStats::new(max_nodes),
+            tracker: TaskTracker::new(),
+            queue: EventQueue::with_capacity(1 << 16),
+            pending: HashMap::new(),
+            expected_s: Vec::new(),
+            is_local: Vec::new(),
+            checkpoint_resubmits: 0,
+            oracle_matchable: 0,
+            oracle_match_sum: 0,
+            oracle_record_matchable: 0,
+            avg_cap,
+            demand: DemandSampler::with_mean_duration(sc.lambda, sc.mean_duration_s),
+            arrivals: PoissonArrivals::new(sc.mean_arrival_s),
+            next_task: 0,
+            next_query: 0,
+            free_ids,
+            live,
+            live_pos,
+            rng_work: stream_rng(sc.seed, RngStreams::Workload),
+            rng_proto: stream_rng(sc.seed, RngStreams::Protocol),
+            rng_net,
+            rng_churn: stream_rng(sc.seed, RngStreams::Churn),
+            rng_overlay,
+        }
+    }
+
+    fn live_add(&mut self, node: NodeId) {
+        self.live_pos[node.idx()] = self.live.len();
+        self.live.push(node);
+    }
+
+    fn live_remove(&mut self, node: NodeId) {
+        let pos = self.live_pos[node.idx()];
+        debug_assert_ne!(pos, usize::MAX);
+        let last = *self.live.last().expect("non-empty live set");
+        self.live.swap_remove(pos);
+        if last != node {
+            self.live_pos[last.idx()] = pos;
+        }
+        self.live_pos[node.idx()] = usize::MAX;
+    }
+
+    fn random_live(&mut self) -> NodeId {
+        self.live[self.rng_churn.random_range(0..self.live.len())]
+    }
+
+    /// Run one protocol callback and apply its effects.
+    fn with_proto<F>(&mut self, f: F)
+    where
+        F: FnOnce(&mut P, &mut Ctx<'_, P::Msg>),
+    {
+        let mut ctx = Ctx::new(self.queue.now(), &self.can, &self.hosts, &mut self.rng_proto);
+        f(&mut self.proto, &mut ctx);
+        let fx = ctx.into_effects();
+        self.apply_effects(fx);
+    }
+
+    fn apply_effects(&mut self, fx: Vec<Effect<P::Msg>>) {
+        let mut work = fx;
+        // Iterate: drops may generate follow-up effects (hop budgets bound
+        // the chain).
+        while !work.is_empty() {
+            let mut next: Vec<Effect<P::Msg>> = Vec::new();
+            for f in work {
+                match f {
+                    Effect::Send {
+                        from,
+                        to,
+                        kind,
+                        msg,
+                    } => {
+                        self.stats.record(kind, from);
+                        if self.hosts.alive[to.idx()] {
+                            let lat = self.topo.latency(from, to, &mut self.rng_net);
+                            self.queue
+                                .schedule_in(lat.max(1), Ev::Deliver { from, to, msg });
+                        } else {
+                            let mut ctx = Ctx::new(
+                                self.queue.now(),
+                                &self.can,
+                                &self.hosts,
+                                &mut self.rng_proto,
+                            );
+                            self.proto.on_message_dropped(&mut ctx, from, to, msg);
+                            next.extend(ctx.into_effects());
+                        }
+                    }
+                    Effect::Timer { node, kind, delay } => {
+                        self.queue
+                            .schedule_in(delay.max(1), Ev::ProtoTimer { node, kind });
+                    }
+                    Effect::QueryResults { qid, candidates } => {
+                        self.on_query_results(qid, candidates);
+                    }
+                    Effect::QueryDone { qid, verdict } => {
+                        debug_assert_eq!(verdict, QueryVerdict::Exhausted);
+                        self.settle_query(qid);
+                    }
+                    Effect::Charge { node, kind, count } => {
+                        self.stats.record_n(kind, node, count);
+                    }
+                }
+            }
+            work = next;
+        }
+    }
+
+    fn on_query_results(&mut self, qid: QueryId, candidates: Vec<Candidate>) {
+        let Some(p) = self.pending.get_mut(&qid) else {
+            return; // late results for a settled query
+        };
+        for c in candidates {
+            if !p.candidates.iter().any(|x| x.node == c.node) {
+                p.candidates.push(c);
+            }
+        }
+        if p.candidates.len() >= p.wanted {
+            self.settle_query(qid);
+        }
+    }
+
+    /// Finish a discovery: pick the best-fit live candidate and dispatch,
+    /// or count a failed task.
+    fn settle_query(&mut self, qid: QueryId) {
+        let Some(p) = self.pending.remove(&qid) else {
+            return;
+        };
+        if !self.hosts.alive[p.requester.idx()] {
+            // The requester churned away mid-query; its task died with it.
+            self.tracker.task_killed();
+            return;
+        }
+        // The candidates are already "best-fit" by construction: the
+        // randomized agent/jump search returns records from the zones
+        // nearest the demand corner. Picking uniformly at random among the
+        // δ returned candidates is the paper's probabilistic contention
+        // control — a deterministic tightest-first pick would send every
+        // concurrent same-demand query to the same record (the ablation
+        // bench compares both policies).
+        let mut ranked: Vec<Candidate> = p
+            .candidates
+            .iter()
+            .filter(|c| self.hosts.alive[c.node.idx()])
+            .copied()
+            .collect();
+        if ranked.is_empty() {
+            self.tracker.task_failed();
+            return;
+        }
+        // Fisher–Yates on the candidate order (workload RNG stream keeps
+        // protocol streams untouched).
+        for i in (1..ranked.len()).rev() {
+            let j = self.rng_work.random_range(0..=i);
+            ranked.swap(i, j);
+        }
+        let target = ranked[0].node;
+        let fallbacks: Vec<NodeId> = ranked[1..].iter().map(|c| c.node).collect();
+        let tid = TaskId(self.next_task);
+        self.next_task += 1;
+        self.push_expected(&p.demand, p.duration_s, false);
+        let spec = DispatchSpec {
+            tid,
+            expect: p.demand,
+            duration_s: p.duration_s,
+            submitted_at: p.submitted_at,
+            requester: p.requester,
+            fallbacks,
+        };
+        self.dispatch_to(target, spec);
+    }
+
+    /// Ship a task to `target`, charging the dispatch transfer.
+    fn dispatch_to(&mut self, target: NodeId, spec: DispatchSpec) {
+        self.stats.record(MsgKind::Dispatch, spec.requester);
+        let delay = if target == spec.requester {
+            1
+        } else {
+            self.topo
+                .transfer_ms(spec.requester, target, self.sc.dispatch_kbytes, &mut self.rng_net)
+        };
+        self.queue.schedule_in(delay, Ev::TaskArrive { to: target, spec });
+    }
+
+    fn push_expected(&mut self, demand: &ResVec, duration_s: f64, local: bool) {
+        self.is_local.push(local);
+        // Expected execution time per Equation (4)'s description: the work
+        // amount over the system-wide average capacity.
+        let mut t: f64 = 0.0;
+        for d in 0..PERF_DIMS {
+            let w = demand[d] * duration_s;
+            if self.avg_cap[d] > 0.0 {
+                t = t.max(w / self.avg_cap[d]);
+            }
+        }
+        self.expected_s.push(t.max(1e-6));
+    }
+
+    /// Task payload arrived at a prospective execution node: re-check
+    /// Inequality (2); reject to the next best-fit candidate when the node
+    /// no longer qualifies (records were stale / a competitor won the
+    /// race). A rejected task with no candidates left fails.
+    fn on_task_arrive(&mut self, to: NodeId, mut spec: DispatchSpec) {
+        let alive = self.hosts.alive[to.idx()];
+        let qualifies = alive && self.hosts.execs[to.idx()].qualifies(&spec.expect);
+        if qualifies {
+            self.start_task_on(to, spec);
+            return;
+        }
+        // Rejected (or the node died in transit): try the next candidate.
+        loop {
+            let Some(next) = spec.fallbacks.first().copied() else {
+                if self.hosts.alive[spec.requester.idx()] {
+                    self.tracker.task_rejected();
+                } else {
+                    self.tracker.task_killed();
+                }
+                return;
+            };
+            spec.fallbacks.remove(0);
+            if self.hosts.alive[next.idx()] {
+                self.dispatch_to(next, spec);
+                return;
+            }
+        }
+    }
+
+    fn start_task_on(&mut self, node: NodeId, spec: DispatchSpec) {
+        let now = self.queue.now();
+        let task = RunningTask::with_duration(
+            spec.tid,
+            spec.expect,
+            spec.duration_s,
+            PERF_DIMS,
+            spec.submitted_at,
+            now,
+        );
+        self.hosts.execs[node.idx()].add_task(now, task);
+        self.schedule_completion(node);
+    }
+
+    fn schedule_completion(&mut self, node: NodeId) {
+        let now = self.queue.now();
+        let exec = &mut self.hosts.execs[node.idx()];
+        if let Some(at) = exec.next_completion(now) {
+            let epoch = exec.epoch();
+            self.queue.schedule_at(at, Ev::Completion { node, epoch });
+        }
+    }
+
+    fn on_completion(&mut self, node: NodeId, epoch: u64) {
+        if !self.hosts.alive[node.idx()] {
+            return;
+        }
+        if self.hosts.execs[node.idx()].epoch() != epoch {
+            return; // stale prediction
+        }
+        let now = self.queue.now();
+        let finished = self.hosts.execs[node.idx()].collect_finished(now);
+        for f in finished {
+            if self.is_local[f.id.idx()] {
+                self.tracker.task_local_finished();
+                continue;
+            }
+            let actual_s = ((f.finished_at - f.submitted_at) as f64 / 1000.0).max(1e-3);
+            let expected = self.expected_s[f.id.idx()];
+            self.tracker.task_finished(expected / actual_s);
+        }
+        self.schedule_completion(node);
+    }
+
+    fn on_arrival(&mut self, node: NodeId) {
+        if !self.hosts.alive[node.idx()] {
+            return; // chain ends; a future join restarts it
+        }
+        let now = self.queue.now();
+        // Schedule the next arrival first (Poisson process per node).
+        let delay = self.arrivals.next_delay(&mut self.rng_work);
+        self.queue.schedule_in(delay, Ev::Arrival { node });
+
+        let spec = self.demand.sample(&mut self.rng_work);
+
+        if self.sc.local_exec && self.hosts.execs[node.idx()].qualifies(&spec.expect) {
+            // Satisfied by the local scheduler: the discovery protocol is
+            // never exercised, so the task stays out of T/F-Ratio (the
+            // paper's "submitted" denominator is overlay submissions).
+            self.tracker.task_local_generated();
+            let tid = TaskId(self.next_task);
+            self.next_task += 1;
+            self.push_expected(&spec.expect, spec.duration_s, true);
+            self.start_task_on(
+                node,
+                DispatchSpec {
+                    tid,
+                    expect: spec.expect,
+                    duration_s: spec.duration_s,
+                    submitted_at: now,
+                    requester: node,
+                    fallbacks: Vec::new(),
+                },
+            );
+            return;
+        }
+
+        self.tracker.task_generated();
+        if self.sc.oracle {
+            let matching = self
+                .live
+                .iter()
+                .filter(|&&n| self.hosts.execs[n.idx()].qualifies(&spec.expect))
+                .count();
+            self.oracle_match_sum += matching as u64;
+            if matching > 0 {
+                self.oracle_matchable += 1;
+            }
+            if self
+                .proto
+                .diag_record_match(&spec.expect, now)
+                .unwrap_or(false)
+            {
+                self.oracle_record_matchable += 1;
+            }
+        }
+        let qid = QueryId(self.next_query);
+        self.next_query += 1;
+        self.pending.insert(
+            qid,
+            PendingQuery {
+                requester: node,
+                demand: spec.expect,
+                duration_s: spec.duration_s,
+                wanted: self.sc.delta,
+                submitted_at: now,
+                candidates: Vec::new(),
+            },
+        );
+        self.queue
+            .schedule_in(self.sc.query_timeout_ms, Ev::QueryTimeout { qid });
+        let req = QueryRequest {
+            qid,
+            requester: node,
+            demand: spec.expect,
+            wanted: self.sc.delta,
+        };
+        self.with_proto(|p, ctx| p.start_query(ctx, req));
+    }
+
+    fn churn_swap(&mut self) {
+        // One departure + one join, uniformly spread over time (§IV-B).
+        if self.live.len() > 1 {
+            let victim = self.random_live();
+            self.node_leave(victim);
+        }
+        if let Some(newcomer) = self.free_ids.pop_front() {
+            self.node_join(newcomer);
+        }
+        self.schedule_next_churn();
+    }
+
+    fn node_leave(&mut self, victim: NodeId) {
+        let now = self.queue.now();
+        // Resident tasks: lost with the node, unless checkpointing (§VI
+        // future work) captures their progress and re-submits the residual
+        // work to the overlay. Tasks the departed node ran for itself have
+        // no surviving owner to resubmit them, so they die either way.
+        let drained = self.hosts.execs[victim.idx()].drain_tasks(now);
+        for t in drained {
+            if self.is_local[t.id.idx()] {
+                self.tracker.task_local_killed();
+                continue;
+            }
+            if !self.sc.checkpointing {
+                self.tracker.task_killed();
+                continue;
+            }
+            let remaining_s = NodeExec::remaining_nominal_s(&t, PERF_DIMS).max(1.0);
+            self.checkpoint_resubmits += 1;
+            // A surviving node acts as the resubmitter (the original
+            // requester may itself have churned; SOC users re-attach).
+            let resubmitter = self.random_live();
+            let qid = QueryId(self.next_query);
+            self.next_query += 1;
+            self.pending.insert(
+                qid,
+                PendingQuery {
+                    requester: resubmitter,
+                    demand: t.expect,
+                    duration_s: remaining_s,
+                    wanted: self.sc.delta,
+                    submitted_at: t.submitted_at,
+                    candidates: Vec::new(),
+                },
+            );
+            self.queue
+                .schedule_in(self.sc.query_timeout_ms, Ev::QueryTimeout { qid });
+            let req = QueryRequest {
+                qid,
+                requester: resubmitter,
+                demand: t.expect,
+                wanted: self.sc.delta,
+            };
+            self.with_proto(|p, ctx| p.start_query(ctx, req));
+        }
+        // Abandon its outstanding discoveries.
+        let dead_queries: Vec<QueryId> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.requester == victim)
+            .map(|(&q, _)| q)
+            .collect();
+        for q in dead_queries {
+            self.pending.remove(&q);
+            self.tracker.task_killed();
+        }
+        // Structural removal, then protocol notifications.
+        let reass = self.can.leave(victim);
+        self.hosts.alive[victim.idx()] = false;
+        self.live_remove(victim);
+        let affected: Vec<NodeId> = reass.iter().map(|&(n, _)| n).collect();
+        self.with_proto(|p, ctx| p.on_node_left(ctx, victim));
+        self.with_proto(|p, ctx| p.on_zones_reassigned(ctx, &affected));
+        self.free_ids.push_back(victim);
+    }
+
+    fn node_join(&mut self, newcomer: NodeId) {
+        let point = soc_can::overlay::random_point(self.can.dim(), &mut self.rng_overlay);
+        let splitter = self.can.join(newcomer, &point);
+        self.hosts.alive[newcomer.idx()] = true;
+        // Fresh machine: new capacity, idle scheduler.
+        let cap = NodeCapacitySampler.sample(&mut self.rng_overlay);
+        self.hosts.execs[newcomer.idx()] = NodeExec::new(cap, PsmConfig::default());
+        self.live_add(newcomer);
+        self.with_proto(|p, ctx| p.on_node_joined(ctx, newcomer));
+        self.with_proto(|p, ctx| p.on_zones_reassigned(ctx, &[splitter]));
+        // Restart the arrival chain.
+        let delay = self.arrivals.next_delay(&mut self.rng_work);
+        self.queue.schedule_in(delay, Ev::Arrival { node: newcomer });
+    }
+
+    fn schedule_next_churn(&mut self) {
+        if self.sc.churn_degree <= 0.0 {
+            return;
+        }
+        // churn_degree × n swaps per 3000 s window.
+        let swaps_per_window = self.sc.churn_degree * self.sc.n_nodes as f64;
+        let interval = (3_000_000.0 / swaps_per_window).max(1.0) as SimMillis;
+        // Jitter to avoid lockstep with other periodic events.
+        let jitter = self.rng_churn.random_range(0..=interval / 4 + 1);
+        self.queue
+            .schedule_in(interval + jitter, Ev::ChurnSwap);
+    }
+
+    fn run(mut self) -> RunReport {
+        let wall_start = std::time::Instant::now();
+        // Protocol start-up.
+        self.with_proto(|p, ctx| p.on_start(ctx));
+        // Arrival chains.
+        let nodes: Vec<NodeId> = self.live.clone();
+        for node in nodes {
+            let delay = self.arrivals.next_delay(&mut self.rng_work);
+            self.queue.schedule_in(delay, Ev::Arrival { node });
+        }
+        // Sampling + churn.
+        self.queue.schedule_in(self.sc.sample_ms, Ev::Sample);
+        self.schedule_next_churn();
+
+        let deadline = self.sc.duration_ms;
+        while let Some((_, ev)) = self.queue.pop_until(deadline) {
+            match ev {
+                Ev::Deliver { to, msg, .. } => {
+                    if self.hosts.alive[to.idx()] {
+                        self.with_proto(|p, ctx| p.on_message(ctx, to, msg));
+                    }
+                    // Deliveries to nodes that died in-flight vanish; the
+                    // sender already paid for the message.
+                }
+                Ev::ProtoTimer { node, kind } => {
+                    if self.hosts.alive[node.idx()] {
+                        self.with_proto(|p, ctx| p.on_timer(ctx, node, kind));
+                    }
+                }
+                Ev::Arrival { node } => self.on_arrival(node),
+                Ev::QueryTimeout { qid } => self.settle_query(qid),
+                Ev::TaskArrive { to, spec } => self.on_task_arrive(to, spec),
+                Ev::Completion { node, epoch } => self.on_completion(node, epoch),
+                Ev::ChurnSwap => self.churn_swap(),
+                Ev::Sample => {
+                    let now = self.queue.now();
+                    self.tracker.sample(now);
+                    if now + self.sc.sample_ms <= deadline {
+                        self.queue.schedule_in(self.sc.sample_ms, Ev::Sample);
+                    }
+                }
+            }
+        }
+        // Final sample exactly at the deadline.
+        self.tracker.sample(deadline);
+        self.tracker
+            .check_conservation()
+            .expect("task conservation violated");
+
+        let breakdown = self
+            .stats
+            .breakdown()
+            .into_iter()
+            .map(|(k, c)| (k.label().to_string(), c))
+            .collect();
+        RunReport {
+            label: self.proto.name().to_string(),
+            scenario: format!(
+                "n={} λ={} churn={} seed={}",
+                self.sc.n_nodes, self.sc.lambda, self.sc.churn_degree, self.sc.seed
+            ),
+            series: self.tracker.series().to_vec(),
+            generated: self.tracker.generated(),
+            finished: self.tracker.finished(),
+            failed: self.tracker.failed(),
+            killed: self.tracker.killed(),
+            rejected: self.tracker.rejected(),
+            checkpoint_resubmits: self.checkpoint_resubmits,
+            local_generated: self.tracker.local_generated(),
+            local_finished: self.tracker.local_finished(),
+            oracle_matchable: if self.sc.oracle {
+                Some(self.oracle_matchable)
+            } else {
+                None
+            },
+            oracle_record_matchable: if self.sc.oracle {
+                Some(self.oracle_record_matchable)
+            } else {
+                None
+            },
+            oracle_mean_matching: if self.sc.oracle && self.tracker.generated() > 0 {
+                Some(self.oracle_match_sum as f64 / self.tracker.generated() as f64)
+            } else {
+                None
+            },
+            t_ratio: self.tracker.t_ratio(),
+            f_ratio: self.tracker.f_ratio(),
+            fairness: self.tracker.fairness(),
+            mean_efficiency: self.tracker.mean_efficiency(),
+            msg_total: self.stats.total(),
+            msg_per_node: self.stats.total() as f64 / self.sc.n_nodes as f64,
+            msg_breakdown: breakdown,
+            wall_ms: wall_start.elapsed().as_millis(),
+            diag: self.proto.diag_string(),
+        }
+    }
+}
+
+/// Run a scenario with its configured protocol.
+pub fn run_scenario(sc: &Scenario) -> RunReport {
+    let max_nodes = sc.n_nodes + id_headroom(sc.n_nodes);
+    // Scaled-down scenarios shrink task durations; protocol cycles shrink
+    // by the same factor so staleness-vs-lifetime ratios stay faithful.
+    let f = (sc.mean_duration_s / 3000.0).min(1.0);
+    match sc.protocol {
+        ProtocolChoice::Hid => run_pidcan(sc, PidCanConfig::hid().scale_cycles(f), max_nodes),
+        ProtocolChoice::Sid => run_pidcan(sc, PidCanConfig::sid().scale_cycles(f), max_nodes),
+        ProtocolChoice::HidSos => {
+            run_pidcan(sc, PidCanConfig::hid_sos().scale_cycles(f), max_nodes)
+        }
+        ProtocolChoice::SidSos => {
+            run_pidcan(sc, PidCanConfig::sid_sos().scale_cycles(f), max_nodes)
+        }
+        ProtocolChoice::SidVd => run_pidcan(sc, PidCanConfig::sid_vd().scale_cycles(f), max_nodes),
+        ProtocolChoice::Newscast => {
+            let proto = Newscast::new(
+                GossipConfig::default().scale_cycles(f),
+                sc.n_nodes,
+                max_nodes,
+            );
+            Sim::new(sc, proto, soc_types::SOC_DIMS).run()
+        }
+        ProtocolChoice::Khdn => {
+            let proto = KhdnCan::new(
+                KhdnConfig::default().scale_cycles(f),
+                sc.n_nodes,
+                max_nodes,
+            );
+            Sim::new(sc, proto, soc_types::SOC_DIMS).run()
+        }
+    }
+}
+
+fn run_pidcan(sc: &Scenario, cfg: PidCanConfig, max_nodes: usize) -> RunReport {
+    let dim = cfg.overlay_dim();
+    let proto = PidCan::new(cfg, dim, sc.n_nodes, max_nodes);
+    Sim::new(sc, proto, dim).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    fn quick(protocol: ProtocolChoice, seed: u64) -> RunReport {
+        Scenario::quick(protocol).nodes(120).seed(seed).run()
+    }
+
+    #[test]
+    fn hid_quick_run_produces_sane_report() {
+        let r = quick(ProtocolChoice::Hid, 1);
+        assert!(r.generated > 100, "too few tasks: {}", r.generated);
+        assert!(r.t_ratio > 0.0, "nothing finished");
+        assert!(r.t_ratio <= 1.0 && r.f_ratio <= 1.0);
+        assert!(r.fairness > 0.0 && r.fairness <= 1.0);
+        assert!(r.msg_total > 0);
+        assert_eq!(r.label, "HID-CAN");
+        assert!(!r.series.is_empty());
+        // Series is monotone in generated tasks.
+        for w in r.series.windows(2) {
+            assert!(w[1].generated >= w[0].generated);
+        }
+    }
+
+    #[test]
+    fn all_protocols_run_quickly() {
+        for p in ProtocolChoice::ALL {
+            let r = Scenario::quick(p).nodes(80).hours(1).seed(2).run();
+            assert!(r.generated > 0, "{}: nothing generated", r.label);
+            assert_eq!(r.label, p.label());
+            assert!(
+                r.finished + r.failed + r.killed <= r.generated,
+                "{}: conservation",
+                r.label
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = quick(ProtocolChoice::Hid, 7);
+        let b = quick(ProtocolChoice::Hid, 7);
+        assert_eq!(a.generated, b.generated);
+        assert_eq!(a.finished, b.finished);
+        assert_eq!(a.failed, b.failed);
+        assert_eq!(a.msg_total, b.msg_total);
+        let c = quick(ProtocolChoice::Hid, 8);
+        assert!(
+            c.msg_total != a.msg_total || c.finished != a.finished,
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn churn_run_stays_consistent() {
+        let r = Scenario::quick(ProtocolChoice::Hid)
+            .nodes(100)
+            .hours(1)
+            .churn(0.5)
+            .seed(3)
+            .run();
+        assert!(r.generated > 0);
+        assert!(
+            r.finished + r.failed + r.killed <= r.generated,
+            "conservation under churn"
+        );
+    }
+
+    #[test]
+    fn harder_lambda_means_more_failures() {
+        let easy = Scenario::quick(ProtocolChoice::Hid)
+            .nodes(120)
+            .lambda(0.25)
+            .seed(4)
+            .run();
+        let hard = Scenario::quick(ProtocolChoice::Hid)
+            .nodes(120)
+            .lambda(1.0)
+            .seed(4)
+            .run();
+        assert!(
+            hard.f_ratio >= easy.f_ratio,
+            "λ=1 ({}) should fail at least as often as λ=0.25 ({})",
+            hard.f_ratio,
+            easy.f_ratio
+        );
+    }
+}
+
+#[cfg(test)]
+mod checkpoint_tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    fn churny(seed: u64, ckpt: bool) -> RunReport {
+        let mut sc = Scenario::quick(ProtocolChoice::Hid)
+            .nodes(120)
+            .hours(2)
+            .churn(0.75)
+            .seed(seed);
+        sc.checkpointing = ckpt;
+        sc.run()
+    }
+
+    #[test]
+    fn checkpointing_recovers_churned_tasks() {
+        let plain = churny(21, false);
+        let ckpt = churny(21, true);
+        assert_eq!(plain.checkpoint_resubmits, 0);
+        assert!(
+            ckpt.checkpoint_resubmits > 0,
+            "churn at 75% must trigger resubmissions"
+        );
+        // Recovered residual work means strictly fewer killed tasks.
+        assert!(
+            ckpt.killed < plain.killed.max(1),
+            "checkpointing should reduce kills: {} vs {}",
+            ckpt.killed,
+            plain.killed
+        );
+        ckpt.series
+            .last()
+            .map(|p| assert!(p.generated > 0))
+            .unwrap();
+    }
+
+    #[test]
+    fn checkpointing_preserves_conservation() {
+        let r = churny(22, true);
+        assert!(
+            r.finished + r.failed + r.killed + r.rejected <= r.generated,
+            "conservation with resubmissions"
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! Workload generation: Table I node capacities, Table II task demands,
+//! Poisson arrivals.
+//!
+//! §IV-A: *"the user requests (or tasks) will be periodically generated on
+//! each node based on Poisson process with 3000 seconds as its mean"*, and
+//! *"Tasks' workloads are randomly generated such that their overall average
+//! execution time is 3000 seconds."*
+//!
+//! Demand vectors follow Table II: with demand ratio `λ`, every dimension is
+//! drawn uniformly from `[base_d · λ, cmax_d · λ]` — e.g. CPU in
+//! `[λ, 25.6λ]`. Small `λ` therefore concentrates all query points in the
+//! low corner of the CAN space (the hotspot regime of Fig. 4(b)).
+
+pub mod demand;
+pub mod nodes;
+pub mod poisson;
+
+pub use demand::{DemandSampler, TaskSpec};
+pub use nodes::{cmax, NodeCapacitySampler};
+pub use poisson::PoissonArrivals;

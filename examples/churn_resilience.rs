@@ -1,0 +1,51 @@
+//! Churn resilience demo (the paper's Fig. 8 at demo scale): HID-CAN under
+//! increasing node-churn rates, with live join/leave zone takeover via the
+//! CAN binary partition tree.
+//!
+//! ```text
+//! cargo run --release --example churn_resilience
+//! ```
+
+use soc_pidcan::sim::{ProtocolChoice, Scenario};
+
+fn main() {
+    println!("== HID-CAN under churn: 250 nodes, 6 simulated hours, λ = 0.5 ==");
+    println!("(dynamic degree = fraction of nodes replaced per mean task lifetime)\n");
+    println!(
+        "{:>14} {:>8} {:>8} {:>9} {:>8} {:>10}",
+        "dynamic degree", "T-Ratio", "F-Ratio", "fairness", "killed", "msgs/node"
+    );
+
+    let mut base: Option<f64> = None;
+    for degree in [0.0, 0.25, 0.5, 0.75, 0.95] {
+        let mut sc = Scenario::paper(ProtocolChoice::Hid)
+            .nodes(250)
+            .hours(6)
+            .lambda(0.5)
+            .churn(degree)
+            .seed(5);
+        sc.mean_arrival_s = 1200.0;
+        sc.mean_duration_s = 1200.0;
+        let r = sc.run();
+        println!(
+            "{:>13.0}% {:>8.3} {:>8.3} {:>9.3} {:>8} {:>10.0}",
+            degree * 100.0,
+            r.t_ratio,
+            r.f_ratio,
+            r.fairness,
+            r.killed,
+            r.msg_per_node
+        );
+        if degree == 0.0 {
+            base = Some(r.t_ratio);
+        } else if degree == 0.5 {
+            if let Some(b) = base {
+                let drop = 100.0 * (b - r.t_ratio) / b.max(1e-9);
+                println!(
+                    "    → at 50% churn the throughput ratio degrades only {drop:.0}% \
+                     vs static (the paper's §IV-B observation)"
+                );
+            }
+        }
+    }
+}

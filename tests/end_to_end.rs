@@ -1,0 +1,156 @@
+//! Cross-crate integration tests: full scenario runs exercising the CAN
+//! substrate, INSCAN, PID-CAN, the baselines, PSM execution, workload and
+//! metrics together.
+
+use soc_pidcan::sim::{ProtocolChoice, Scenario};
+
+fn tiny(p: ProtocolChoice, seed: u64) -> Scenario {
+    let mut sc = Scenario::paper(p).nodes(150).hours(3).seed(seed);
+    sc.mean_arrival_s = 900.0;
+    sc.mean_duration_s = 900.0;
+    sc
+}
+
+#[test]
+fn every_protocol_completes_a_day_in_miniature() {
+    for p in ProtocolChoice::ALL {
+        let r = tiny(p, 1).run();
+        assert!(r.generated > 100, "{}: too few queries", r.label);
+        assert!(r.finished > 0, "{}: nothing finished", r.label);
+        assert!(
+            r.finished + r.failed + r.killed + r.rejected <= r.generated,
+            "{}: task conservation violated",
+            r.label
+        );
+        assert!(r.t_ratio > 0.0 && r.t_ratio <= 1.0);
+        assert!(r.f_ratio >= 0.0 && r.f_ratio <= 1.0);
+        assert!(r.fairness > 0.0 && r.fairness <= 1.0);
+        assert!(r.msg_total > 0, "{}: no traffic recorded", r.label);
+        // The series is sampled and cumulative.
+        assert!(!r.series.is_empty());
+        for w in r.series.windows(2) {
+            assert!(w[1].generated >= w[0].generated);
+            assert!(w[1].finished >= w[0].finished);
+            assert!(w[1].failed >= w[0].failed);
+        }
+    }
+}
+
+#[test]
+fn determinism_across_identical_runs() {
+    for p in [ProtocolChoice::Hid, ProtocolChoice::Newscast, ProtocolChoice::Khdn] {
+        let a = tiny(p, 33).run();
+        let b = tiny(p, 33).run();
+        assert_eq!(a.generated, b.generated, "{}", a.label);
+        assert_eq!(a.finished, b.finished, "{}", a.label);
+        assert_eq!(a.failed, b.failed, "{}", a.label);
+        assert_eq!(a.rejected, b.rejected, "{}", a.label);
+        assert_eq!(a.msg_total, b.msg_total, "{}", a.label);
+        assert_eq!(a.series, b.series, "{}", a.label);
+    }
+}
+
+#[test]
+fn seeds_actually_matter() {
+    let a = tiny(ProtocolChoice::Hid, 1).run();
+    let b = tiny(ProtocolChoice::Hid, 2).run();
+    assert!(
+        a.msg_total != b.msg_total || a.finished != b.finished,
+        "different seeds produced identical runs"
+    );
+}
+
+#[test]
+fn hid_matching_beats_newscast_under_scarcity() {
+    // The paper's core claim (Fig. 5-7b): the directed PID-CAN search has a
+    // much better matching rate than the random partial-view baseline.
+    for seed in [1, 7] {
+        let hid = tiny(ProtocolChoice::Hid, seed).lambda(0.5).run();
+        let news = tiny(ProtocolChoice::Newscast, seed).lambda(0.5).run();
+        assert!(
+            hid.f_ratio < news.f_ratio * 0.5,
+            "seed {seed}: HID F-Ratio {} not well below Newscast {}",
+            hid.f_ratio,
+            news.f_ratio
+        );
+    }
+}
+
+#[test]
+fn hid_nearly_perfect_matching_at_low_lambda() {
+    // Fig. 7(b): HID-CAN suffers almost no failed tasks at λ = 0.25.
+    let hid = tiny(ProtocolChoice::Hid, 3).lambda(0.25).run();
+    assert!(
+        hid.f_ratio < 0.02,
+        "HID F-Ratio at λ=0.25 should be ≈ 0, got {}",
+        hid.f_ratio
+    );
+}
+
+#[test]
+fn churn_degrades_gracefully() {
+    // Fig. 8: moderate churn must not collapse throughput.
+    let static_run = tiny(ProtocolChoice::Hid, 4).lambda(0.5).run();
+    let half = tiny(ProtocolChoice::Hid, 4).lambda(0.5).churn(0.5).run();
+    let brutal = tiny(ProtocolChoice::Hid, 4).lambda(0.5).churn(0.95).run();
+    assert!(half.killed > 0, "churn should kill some tasks");
+    assert!(
+        half.t_ratio > 0.5 * static_run.t_ratio,
+        "50% churn should not halve throughput: {} vs {}",
+        half.t_ratio,
+        static_run.t_ratio
+    );
+    assert!(
+        brutal.t_ratio <= half.t_ratio * 1.1 + 0.05,
+        "95% churn should not beat 50% churn materially: {} vs {}",
+        brutal.t_ratio,
+        half.t_ratio
+    );
+}
+
+#[test]
+fn traffic_scales_sublinearly_per_node() {
+    // Table III: per-node message cost grows slowly with n.
+    let small = tiny(ProtocolChoice::Hid, 5).nodes(100).run();
+    let large = tiny(ProtocolChoice::Hid, 5).nodes(400).run();
+    let ratio = large.msg_per_node / small.msg_per_node.max(1.0);
+    assert!(
+        ratio < 2.5,
+        "per-node cost grew {ratio:.2}× for 4× nodes (want sublinear growth)"
+    );
+}
+
+#[test]
+fn sos_variants_run_and_match() {
+    let sos = tiny(ProtocolChoice::HidSos, 6).lambda(0.5).run();
+    assert_eq!(sos.label, "HID-CAN+SoS");
+    assert!(sos.finished > 0);
+    // SoS must not devastate matching relative to plain HID.
+    let hid = tiny(ProtocolChoice::Hid, 6).lambda(0.5).run();
+    assert!(
+        sos.f_ratio <= hid.f_ratio + 0.15,
+        "SoS F-Ratio {} vs HID {}",
+        sos.f_ratio,
+        hid.f_ratio
+    );
+}
+
+#[test]
+fn vd_variant_uses_six_dimensional_overlay_and_works() {
+    let vd = tiny(ProtocolChoice::SidVd, 8).lambda(0.5).run();
+    assert_eq!(vd.label, "SID-CAN+VD");
+    assert!(vd.finished > 0);
+    assert!(vd.f_ratio < 1.0);
+}
+
+#[test]
+fn local_execution_bypasses_overlay_at_low_lambda() {
+    let r = tiny(ProtocolChoice::Hid, 9).lambda(0.25).run();
+    assert!(
+        r.local_generated > r.generated / 4,
+        "λ=0.25 should see substantial local execution ({} local vs {} remote)",
+        r.local_generated,
+        r.generated
+    );
+    assert!(r.local_finished > 0);
+}
