@@ -132,7 +132,10 @@ fn bench_delta_sweep(c: &mut Criterion) {
 fn bench_sos_overhead(c: &mut Criterion) {
     let mut g = c.benchmark_group("sos_overhead");
     g.sample_size(10);
-    for (label, p) in [("plain", ProtocolChoice::Hid), ("sos", ProtocolChoice::HidSos)] {
+    for (label, p) in [
+        ("plain", ProtocolChoice::Hid),
+        ("sos", ProtocolChoice::HidSos),
+    ] {
         g.bench_with_input(BenchmarkId::new("hid", label), &p, |b, &p| {
             b.iter(|| black_box(bench_scenario(p).run()))
         });

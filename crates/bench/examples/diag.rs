@@ -4,14 +4,25 @@ use soc_sim::{ProtocolChoice, Scenario};
 fn main() {
     for lambda in [1.0, 0.5, 0.25] {
         println!("==== lambda {lambda} ====");
-        for p in [ProtocolChoice::Hid, ProtocolChoice::Sid, ProtocolChoice::Newscast, ProtocolChoice::Khdn] {
-            let mut sc = Scenario::paper(p).nodes(300).hours(6).seed(1).lambda(lambda);
+        for p in [
+            ProtocolChoice::Hid,
+            ProtocolChoice::Sid,
+            ProtocolChoice::Newscast,
+            ProtocolChoice::Khdn,
+        ] {
+            let mut sc = Scenario::paper(p)
+                .nodes(300)
+                .hours(6)
+                .seed(1)
+                .lambda(lambda);
             sc.mean_arrival_s = 1200.0;
             sc.mean_duration_s = 1200.0;
             sc.oracle = true;
             let r = sc.run();
             let orc = r.oracle_matchable.unwrap_or(0) as f64 / r.generated.max(1) as f64;
-            let rec = r.oracle_record_matchable.map(|v| v as f64 / r.generated.max(1) as f64);
+            let rec = r
+                .oracle_record_matchable
+                .map(|v| v as f64 / r.generated.max(1) as f64);
             println!(
                 "{}  oracle {:.2} (mean {:.1}) rec-oracle {} match {:.2} eff {:.2} wall {}ms",
                 r.summary(),

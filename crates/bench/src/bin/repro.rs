@@ -46,22 +46,16 @@ fn parse_args() -> Args {
                 };
             }
             "--seed" => {
-                args.seed = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--seed needs an integer");
-                        std::process::exit(2);
-                    });
+                args.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed needs an integer");
+                    std::process::exit(2);
+                });
             }
             "--lambda" => {
-                args.lambda = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--lambda needs a number");
-                        std::process::exit(2);
-                    });
+                args.lambda = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--lambda needs a number");
+                    std::process::exit(2);
+                });
             }
             cmd if args.cmd.is_empty() && !cmd.starts_with('-') => {
                 args.cmd = cmd.to_string();

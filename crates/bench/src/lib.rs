@@ -60,9 +60,7 @@ impl Scale {
 
     /// Base scenario with this scale applied.
     pub fn scenario(&self, p: ProtocolChoice) -> Scenario {
-        let mut sc = Scenario::paper(p)
-            .nodes(self.nodes)
-            .hours(self.hours);
+        let mut sc = Scenario::paper(p).nodes(self.nodes).hours(self.hours);
         sc.mean_arrival_s = self.mean_arrival_s;
         sc.mean_duration_s = self.mean_duration_s;
         sc

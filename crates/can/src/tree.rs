@@ -373,7 +373,7 @@ mod tests {
         t.join(NodeId(1), &pt(&[0.9, 0.5])); // right half
         t.join(NodeId(2), &pt(&[0.9, 0.9])); // right-top
         t.join(NodeId(3), &pt(&[0.9, 0.99])); // split right-top again
-        // Node 0 owns the left half; its sibling subtree is deep.
+                                              // Node 0 owns the left half; its sibling subtree is deep.
         let re = t.leave(NodeId(0)).unwrap();
         assert_eq!(re.len(), 2, "handover must reassign a pair: {re:?}");
         t.validate().unwrap();
@@ -396,7 +396,9 @@ mod tests {
         // Deterministic pseudo-random points via a simple LCG.
         let mut s = 12345u64;
         let mut r = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 11) as f64 / (1u64 << 53) as f64
         };
         for i in 1..200u32 {

@@ -231,8 +231,8 @@ mod tests {
         let (a, b) = z.split(0);
         let (a1, _a2) = a.split(1);
         assert_eq!(a1.merge(&b), None); // differ in two dims
-        // Abutting boxes with identical cross-sections DO merge (union box),
-        // even when they are not the two halves of one split.
+                                        // Abutting boxes with identical cross-sections DO merge (union box),
+                                        // even when they are not the two halves of one split.
         let (b1, _b2) = b.split(0);
         let merged = a.merge(&b1).expect("compatible abutting boxes merge");
         assert_eq!(merged.lo()[0], 0.0);

@@ -220,14 +220,8 @@ mod tests {
         // Origin must have negative directions: use the top-corner owner.
         let origin = ov.owner_of(&soc_types::ResVec::from_slice(&[1.0, 1.0]));
         for _ in 0..50 {
-            let out = simulate_diffusion(
-                &ov,
-                &tables,
-                origin,
-                DiffusionMethod::Hopping,
-                2,
-                &mut rng,
-            );
+            let out =
+                simulate_diffusion(&ov, &tables, origin, DiffusionMethod::Hopping, 2, &mut rng);
             assert!(out.messages <= omega, "{} > ω = {omega}", out.messages);
         }
     }
@@ -248,8 +242,14 @@ mod tests {
         let mut sid_seen = std::collections::HashSet::new();
         for _ in 0..rounds {
             let h = simulate_diffusion(&ov, &tables, origin, DiffusionMethod::Hopping, 2, &mut rng);
-            let s =
-                simulate_diffusion(&ov, &tables, origin, DiffusionMethod::Spreading, 2, &mut rng);
+            let s = simulate_diffusion(
+                &ov,
+                &tables,
+                origin,
+                DiffusionMethod::Spreading,
+                2,
+                &mut rng,
+            );
             hid_cov += h.coverage();
             sid_cov += s.coverage();
             hid_msgs += h.messages;

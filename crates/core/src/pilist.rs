@@ -32,8 +32,7 @@ impl PiList {
 
     /// Drop entries older than `ttl` at `now`; returns how many were kept.
     pub fn purge(&mut self, now: SimMillis, ttl: SimMillis) -> usize {
-        self.entries
-            .retain(|&(_, t)| now.saturating_sub(t) <= ttl);
+        self.entries.retain(|&(_, t)| now.saturating_sub(t) <= ttl);
         self.entries.len()
     }
 
@@ -64,7 +63,13 @@ impl PiList {
     /// Sample up to `k` distinct fresh entries uniformly at random
     /// (Algorithm 4 line 1: "Randomly select a few indexes from pi's PIList
     /// and put them in j").
-    pub fn sample<R: Rng>(&self, k: usize, now: SimMillis, ttl: SimMillis, rng: &mut R) -> Vec<NodeId> {
+    pub fn sample<R: Rng>(
+        &self,
+        k: usize,
+        now: SimMillis,
+        ttl: SimMillis,
+        rng: &mut R,
+    ) -> Vec<NodeId> {
         let mut fresh = self.fresh(now, ttl);
         // Partial Fisher–Yates: the first `k` positions become the sample.
         let take = k.min(fresh.len());

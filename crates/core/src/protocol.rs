@@ -547,11 +547,7 @@ impl DiscoveryOverlay for PidCan {
         format!("{:?}", self.diag)
     }
 
-    fn diag_record_match(
-        &self,
-        demand: &ResVec,
-        now: soc_types::SimMillis,
-    ) -> Option<bool> {
+    fn diag_record_match(&self, demand: &ResVec, now: soc_types::SimMillis) -> Option<bool> {
         Some(
             self.caches
                 .iter()
@@ -618,10 +614,7 @@ impl DiscoveryOverlay for PidCan {
                 delta,
                 hops_left,
             } => {
-                let here = ctx
-                    .can
-                    .zone(node)
-                    .is_some_and(|z| z.contains(&target));
+                let here = ctx.can.zone(node).is_some_and(|z| z.contains(&target));
                 if here {
                     self.handle_duty(ctx, node, qid, requester, demand, delta);
                 } else if hops_left == 0 {
@@ -661,7 +654,9 @@ impl DiscoveryOverlay for PidCan {
                     self.diag.agent_pil_empty += 1;
                 }
                 let budget = self.cfg.jump_budget;
-                self.continue_jump(ctx, node, qid, requester, demand, delta, jumps, agents, budget);
+                self.continue_jump(
+                    ctx, node, qid, requester, demand, delta, jumps, agents, budget,
+                );
             }
             PidMsg::IndexJump {
                 qid,
@@ -772,7 +767,14 @@ impl DiscoveryOverlay for PidCan {
                 wanted: req.wanted,
             },
         );
-        self.issue_query(ctx, req.requester, req.qid, effective, req.demand, req.wanted);
+        self.issue_query(
+            ctx,
+            req.requester,
+            req.qid,
+            effective,
+            req.demand,
+            req.wanted,
+        );
     }
 
     fn on_node_joined(&mut self, ctx: &mut Ctx<'_, PidMsg>, node: NodeId) {
@@ -884,7 +886,9 @@ impl DiscoveryOverlay for PidCan {
                 jumps,
                 agents,
                 budget,
-            } => self.continue_jump(ctx, from, qid, requester, demand, delta, jumps, agents, budget),
+            } => self.continue_jump(
+                ctx, from, qid, requester, demand, delta, jumps, agents, budget,
+            ),
             // The requester died; nothing to deliver to.
             PidMsg::Found { .. } | PidMsg::Exhausted { .. } => {}
         }

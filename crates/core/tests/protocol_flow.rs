@@ -87,7 +87,7 @@ fn query_finds_qualified_best_fit_records() {
             wanted: 3,
         });
         let deadline = h.now() + 120_000;
-    h.run_until(deadline);
+        h.run_until(deadline);
         let results = h.results.get(&qid).cloned().unwrap_or_default();
         assert!(
             !results.is_empty(),
@@ -120,7 +120,7 @@ fn query_exhausts_cleanly_when_nothing_qualifies() {
     });
     let deadline = h.now() + 120_000;
     h.run_until(deadline);
-    assert!(h.results.get(&qid).map_or(true, |r| r.is_empty()));
+    assert!(h.results.get(&qid).is_none_or(|r| r.is_empty()));
     assert_eq!(h.done.get(&qid), Some(&QueryVerdict::Exhausted));
 }
 
@@ -185,7 +185,10 @@ fn hid_uses_bounded_diffusion_traffic() {
     let cycles = (520_000 / 60_000) + 1;
     let bound = (N as u64) * cycles * omega;
     let sent = h.stats.count(MsgKind::IndexDiffusion);
-    assert!(sent <= bound, "diffusion traffic {sent} exceeds bound {bound}");
+    assert!(
+        sent <= bound,
+        "diffusion traffic {sent} exceeds bound {bound}"
+    );
     assert!(sent > 0);
 }
 
@@ -214,7 +217,7 @@ fn dropped_query_messages_are_recovered() {
             wanted: 2,
         });
         let deadline = h.now() + 120_000;
-    h.run_until(deadline);
+        h.run_until(deadline);
         let got = h.results.get(&qid).map_or(0, |r| r.len());
         let done = h.done.contains_key(&qid);
         assert!(got > 0 || done, "query {qid:?} hung after drops");
@@ -238,7 +241,7 @@ fn protocol_is_deterministic_for_fixed_seed() {
             wanted: 3,
         });
         let deadline = h.now() + 120_000;
-    h.run_until(deadline);
+        h.run_until(deadline);
         (
             h.stats.total(),
             h.results

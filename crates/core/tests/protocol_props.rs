@@ -3,7 +3,7 @@
 //! jump-list handling.
 
 use pidcan::diffusion::{binary_decomposition, theorem1_hops};
-use pidcan::{DiffusionMethod, PidCanConfig, PiList};
+use pidcan::{DiffusionMethod, PiList, PidCanConfig};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;

@@ -507,7 +507,7 @@ mod tests {
         });
         let deadline = h.now() + 60_000;
         h.run_until(deadline);
-        assert!(h.results.get(&qid).map_or(true, |r| r.is_empty()));
+        assert!(h.results.get(&qid).is_none_or(|r| r.is_empty()));
         assert_eq!(h.done.get(&qid), Some(&QueryVerdict::Exhausted));
     }
 

@@ -7,7 +7,7 @@ use rand::SeedableRng;
 use soc_can::CanOverlay;
 use soc_gossip::{GossipConfig, Newscast};
 use soc_overlay::testkit::{TestHarness, TestHost};
-use soc_overlay::{DiscoveryOverlay, QueryRequest};
+use soc_overlay::QueryRequest;
 use soc_types::{NodeId, QueryId, ResVec};
 
 fn harness(n: usize, seed: u64) -> TestHarness<Newscast> {
@@ -19,7 +19,12 @@ fn harness(n: usize, seed: u64) -> TestHarness<Newscast> {
         let f = 0.2 + 0.7 * (i as f64 / n as f64);
         host.avails[i] = ResVec::from_slice(&[10.0 * f, 10.0 * f]);
     }
-    TestHarness::new(Newscast::new(GossipConfig::default(), n, n), can, host, seed)
+    TestHarness::new(
+        Newscast::new(GossipConfig::default(), n, n),
+        can,
+        host,
+        seed,
+    )
 }
 
 proptest! {

@@ -48,14 +48,22 @@ impl IndexTable {
 
     /// Index node at `2^k` hops along `dim` in the given direction.
     pub fn get(&self, dim: usize, positive: bool, k: usize) -> Option<NodeId> {
-        let side = if positive { &self.positive } else { &self.negative };
+        let side = if positive {
+            &self.positive
+        } else {
+            &self.negative
+        };
         side.get(dim).and_then(|v| v.get(k).copied().flatten())
     }
 
     /// All known index nodes along `dim` in the given direction
     /// (deduplicated, ascending `k`).
     pub fn along(&self, dim: usize, positive: bool) -> Vec<NodeId> {
-        let side = if positive { &self.positive } else { &self.negative };
+        let side = if positive {
+            &self.positive
+        } else {
+            &self.negative
+        };
         let mut out = Vec::new();
         if let Some(v) = side.get(dim) {
             for id in v.iter().flatten() {
@@ -206,7 +214,12 @@ impl IndexTables {
     }
 
     /// Refresh one node's table in place; returns probe accounting.
-    pub fn refresh_node<R: Rng>(&mut self, node: NodeId, ov: &CanOverlay, rng: &mut R) -> WalkStats {
+    pub fn refresh_node<R: Rng>(
+        &mut self,
+        node: NodeId,
+        ov: &CanOverlay,
+        rng: &mut R,
+    ) -> WalkStats {
         let (t, stats) = IndexTable::refresh(node, ov, self.kmax, rng);
         self.tables[node.idx()] = t;
         stats

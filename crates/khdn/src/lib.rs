@@ -162,7 +162,13 @@ impl KhdnCan {
     }
 
     /// Push a replica to up to `branch` negative neighbors per dimension.
-    fn replicate(&mut self, ctx: &mut Ctx<'_, KhdnMsg>, node: NodeId, rec: StateRecord, radius: usize) {
+    fn replicate(
+        &mut self,
+        ctx: &mut Ctx<'_, KhdnMsg>,
+        node: NodeId,
+        rec: StateRecord,
+        radius: usize,
+    ) {
         if radius == 0 {
             return;
         }
@@ -530,7 +536,14 @@ impl DiscoveryOverlay for KhdnCan {
             hops_left: self.route_budget,
         };
         if self.forward(ctx, req.requester, &target, MsgKind::DutyQuery, m) {
-            self.handle_duty(ctx, req.requester, req.qid, req.requester, req.demand, req.wanted);
+            self.handle_duty(
+                ctx,
+                req.requester,
+                req.qid,
+                req.requester,
+                req.demand,
+                req.wanted,
+            );
         }
     }
 
@@ -646,7 +659,7 @@ mod tests {
         });
         let deadline = h.now() + 120_000;
         h.run_until(deadline);
-        assert!(h.results.get(&qid).map_or(true, |r| r.is_empty()));
+        assert!(h.results.get(&qid).is_none_or(|r| r.is_empty()));
         assert_eq!(h.done.get(&qid), Some(&QueryVerdict::Exhausted));
     }
 

@@ -183,7 +183,11 @@ impl TaskTracker {
         self.eff.mean()
     }
 
-    /// Record a time-series sample at `now`.
+    /// Record a time-series sample at `now`. Sampling twice at the same
+    /// timestamp replaces the earlier point with the fresher counts, so the
+    /// series never carries duplicate `t_ms` entries and a re-sample always
+    /// reflects every event processed at that instant (the runner's final
+    /// deadline sample can coincide with the periodic chain's last tick).
     pub fn sample(&mut self, now: SimMillis) -> MetricPoint {
         let p = MetricPoint {
             t_ms: now,
@@ -195,7 +199,11 @@ impl TaskTracker {
             f_ratio: self.f_ratio(),
             fairness: self.fairness(),
         };
-        self.series.push(p);
+        if self.series.last().map(|q| q.t_ms) == Some(now) {
+            *self.series.last_mut().expect("non-empty series") = p;
+        } else {
+            self.series.push(p);
+        }
         p
     }
 
@@ -262,6 +270,24 @@ mod tests {
         assert_eq!(s[1].generated, 2);
         assert_eq!(s[1].finished, 1);
         assert!(s[0].t_ms < s[1].t_ms);
+    }
+
+    #[test]
+    fn resample_at_same_time_replaces_with_fresh_counts() {
+        let mut t = TaskTracker::new();
+        t.task_generated();
+        t.sample(3_600_000);
+        // An event lands at the same instant after the periodic sample
+        // (FIFO tie-break in the event queue): the deadline re-sample must
+        // absorb it, not append a duplicate or keep stale counts.
+        t.task_generated();
+        t.task_finished(1.0);
+        t.sample(3_600_000);
+        let s = t.series();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].t_ms, 3_600_000);
+        assert_eq!(s[0].generated, 2);
+        assert_eq!(s[0].finished, 1);
     }
 
     #[test]

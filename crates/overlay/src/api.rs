@@ -281,7 +281,14 @@ mod tests {
         let fx = ctx.into_effects();
         assert_eq!(fx.len(), 4);
         assert!(matches!(fx[0], Effect::Send { to: NodeId(1), .. }));
-        assert!(matches!(fx[1], Effect::Timer { kind: 3, delay: 100, .. }));
+        assert!(matches!(
+            fx[1],
+            Effect::Timer {
+                kind: 3,
+                delay: 100,
+                ..
+            }
+        ));
         assert!(matches!(fx[2], Effect::QueryResults { .. }));
         assert!(matches!(
             fx[3],

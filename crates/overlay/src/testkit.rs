@@ -223,7 +223,8 @@ impl<M> ApplySink<'_, M> {
                     }
                 }
                 Effect::Timer { node, kind, delay } => {
-                    self.queue.schedule_in(delay.max(1), Ev::Timer { node, kind });
+                    self.queue
+                        .schedule_in(delay.max(1), Ev::Timer { node, kind });
                 }
                 Effect::QueryResults { qid, candidates } => {
                     self.results.entry(qid).or_default().extend(candidates);

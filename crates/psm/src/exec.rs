@@ -380,7 +380,10 @@ mod tests {
     #[test]
     fn paper_worked_example() {
         let mut node = NodeExec::new(v(&[13.5, 1200.0]), PsmConfig::bare(1));
-        for (i, e) in [[2.0, 100.0], [3.0, 200.0], [4.0, 300.0]].iter().enumerate() {
+        for (i, e) in [[2.0, 100.0], [3.0, 200.0], [4.0, 300.0]]
+            .iter()
+            .enumerate()
+        {
             node.add_task(
                 0,
                 RunningTask::with_duration(TaskId(i as u64), v(e), 100.0, 1, 0, 0),
@@ -590,6 +593,9 @@ mod tests {
             RunningTask::with_duration(TaskId(1), v(&[3.0]), 10.0, 1, 0, 0),
         );
         let total: f64 = node.allocations().iter().map(|a| a[0]).sum();
-        assert!((total - 12.0).abs() < 1e-9, "allocations must sum to capacity");
+        assert!(
+            (total - 12.0).abs() < 1e-9,
+            "allocations must sum to capacity"
+        );
     }
 }

@@ -10,9 +10,7 @@ use soc_gossip::{GossipConfig, Newscast};
 use soc_khdn::{KhdnCan, KhdnConfig};
 use soc_metrics::TaskTracker;
 use soc_net::{LanTopology, LatencyConfig, MsgKind, MsgStats};
-use soc_overlay::{
-    Candidate, Ctx, DiscoveryOverlay, Effect, HostInfo, QueryRequest, QueryVerdict,
-};
+use soc_overlay::{Candidate, Ctx, DiscoveryOverlay, Effect, HostInfo, QueryRequest, QueryVerdict};
 use soc_psm::{NodeExec, PsmConfig, RunningTask};
 use soc_simcore::{stream_rng, EventQueue, RngStreams};
 use soc_types::{NodeId, QueryId, ResVec, SimMillis, TaskId, PERF_DIMS};
@@ -147,10 +145,7 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
         };
 
         let psm_cfg = PsmConfig::default();
-        let execs: Vec<NodeExec> = caps
-            .iter()
-            .map(|c| NodeExec::new(*c, psm_cfg))
-            .collect();
+        let execs: Vec<NodeExec> = caps.iter().map(|c| NodeExec::new(*c, psm_cfg)).collect();
         let mut alive = vec![false; max_nodes];
         for a in alive.iter_mut().take(sc.n_nodes) {
             *a = true;
@@ -168,9 +163,8 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
         for (i, n) in live.iter().enumerate() {
             live_pos[n.idx()] = i;
         }
-        let free_ids: VecDeque<NodeId> = (sc.n_nodes..max_nodes)
-            .map(|i| NodeId(i as u32))
-            .collect();
+        let free_ids: VecDeque<NodeId> =
+            (sc.n_nodes..max_nodes).map(|i| NodeId(i as u32)).collect();
 
         Sim {
             sc,
@@ -233,7 +227,12 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
     where
         F: FnOnce(&mut P, &mut Ctx<'_, P::Msg>),
     {
-        let mut ctx = Ctx::new(self.queue.now(), &self.can, &self.hosts, &mut self.rng_proto);
+        let mut ctx = Ctx::new(
+            self.queue.now(),
+            &self.can,
+            &self.hosts,
+            &mut self.rng_proto,
+        );
         f(&mut self.proto, &mut ctx);
         let fx = ctx.into_effects();
         self.apply_effects(fx);
@@ -359,10 +358,15 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
         let delay = if target == spec.requester {
             1
         } else {
-            self.topo
-                .transfer_ms(spec.requester, target, self.sc.dispatch_kbytes, &mut self.rng_net)
+            self.topo.transfer_ms(
+                spec.requester,
+                target,
+                self.sc.dispatch_kbytes,
+                &mut self.rng_net,
+            )
         };
-        self.queue.schedule_in(delay, Ev::TaskArrive { to: target, spec });
+        self.queue
+            .schedule_in(delay, Ev::TaskArrive { to: target, spec });
     }
 
     fn push_expected(&mut self, demand: &ResVec, duration_s: f64, local: bool) {
@@ -617,7 +621,8 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
         self.with_proto(|p, ctx| p.on_zones_reassigned(ctx, &[splitter]));
         // Restart the arrival chain.
         let delay = self.arrivals.next_delay(&mut self.rng_work);
-        self.queue.schedule_in(delay, Ev::Arrival { node: newcomer });
+        self.queue
+            .schedule_in(delay, Ev::Arrival { node: newcomer });
     }
 
     fn schedule_next_churn(&mut self) {
@@ -629,8 +634,7 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
         let interval = (3_000_000.0 / swaps_per_window).max(1.0) as SimMillis;
         // Jitter to avoid lockstep with other periodic events.
         let jitter = self.rng_churn.random_range(0..=interval / 4 + 1);
-        self.queue
-            .schedule_in(interval + jitter, Ev::ChurnSwap);
+        self.queue.schedule_in(interval + jitter, Ev::ChurnSwap);
     }
 
     fn run(mut self) -> RunReport {
@@ -676,7 +680,12 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
                 }
             }
         }
-        // Final sample exactly at the deadline.
+        // Final sample exactly at the deadline. When the periodic chain
+        // already sampled there (duration an exact multiple of sample_ms),
+        // the tracker replaces that point rather than duplicating it — and
+        // the replacement matters: events tied at t=deadline may have popped
+        // after the in-loop Sample event, so only a re-sample taken here is
+        // guaranteed to agree with the aggregate counts reported below.
         self.tracker.sample(deadline);
         self.tracker
             .check_conservation()
@@ -756,11 +765,7 @@ pub fn run_scenario(sc: &Scenario) -> RunReport {
             Sim::new(sc, proto, soc_types::SOC_DIMS).run()
         }
         ProtocolChoice::Khdn => {
-            let proto = KhdnCan::new(
-                KhdnConfig::default().scale_cycles(f),
-                sc.n_nodes,
-                max_nodes,
-            );
+            let proto = KhdnCan::new(KhdnConfig::default().scale_cycles(f), sc.n_nodes, max_nodes);
             Sim::new(sc, proto, soc_types::SOC_DIMS).run()
         }
     }

@@ -63,8 +63,11 @@ mod tests {
         assert_eq!(HOUR, 3_600_000);
         assert_eq!(DAY, 86_400_000);
         assert_eq!(DIM_NAMES.len(), SOC_DIMS);
-        assert!(PERF_DIMS < SOC_DIMS);
     }
+
+    // The performance subset must be a strict prefix of the full dimension
+    // set; checkable at compile time, so pin it there.
+    const _: () = assert!(PERF_DIMS < SOC_DIMS);
 
     #[test]
     fn secs_roundtrip() {

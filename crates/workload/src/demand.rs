@@ -121,8 +121,16 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(22);
         let hi = DemandSampler::new(1.0);
         let lo = DemandSampler::new(0.25);
-        let hi_mean = mean(&(0..500).map(|_| hi.sample(&mut rng).expect[0]).collect::<Vec<_>>());
-        let lo_mean = mean(&(0..500).map(|_| lo.sample(&mut rng).expect[0]).collect::<Vec<_>>());
+        let hi_mean = mean(
+            &(0..500)
+                .map(|_| hi.sample(&mut rng).expect[0])
+                .collect::<Vec<_>>(),
+        );
+        let lo_mean = mean(
+            &(0..500)
+                .map(|_| lo.sample(&mut rng).expect[0])
+                .collect::<Vec<_>>(),
+        );
         assert!(
             (hi_mean / lo_mean - 4.0).abs() < 0.5,
             "ratio {hi_mean}/{lo_mean} should be ≈4"
@@ -135,10 +143,7 @@ mod tests {
         let s = DemandSampler::new(0.5);
         let durations: Vec<f64> = (0..20_000).map(|_| s.sample(&mut rng).duration_s).collect();
         let m = mean(&durations);
-        assert!(
-            (m - 3000.0).abs() < 100.0,
-            "mean duration {m} not ≈ 3000 s"
-        );
+        assert!((m - 3000.0).abs() < 100.0, "mean duration {m} not ≈ 3000 s");
     }
 
     #[test]

@@ -85,8 +85,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(33);
         let p = PoissonArrivals::new(10.0);
         let samples: Vec<u64> = (0..50_000).map(|_| p.next_delay(&mut rng)).collect();
-        let uncond: f64 =
-            samples.iter().map(|&x| x as f64).sum::<f64>() / samples.len() as f64;
+        let uncond: f64 = samples.iter().map(|&x| x as f64).sum::<f64>() / samples.len() as f64;
         let tail: Vec<f64> = samples
             .iter()
             .filter(|&&x| x > 5_000)

@@ -23,7 +23,11 @@ fn main() {
 
     let mut rows = Vec::new();
     for p in ProtocolChoice::ALL {
-        let mut sc = Scenario::paper(p).nodes(300).hours(6).seed(11).lambda(lambda);
+        let mut sc = Scenario::paper(p)
+            .nodes(300)
+            .hours(6)
+            .seed(11)
+            .lambda(lambda);
         sc.mean_arrival_s = 1200.0;
         sc.mean_duration_s = 1200.0;
         let r = sc.run();

@@ -38,7 +38,11 @@ fn every_protocol_completes_a_day_in_miniature() {
 
 #[test]
 fn determinism_across_identical_runs() {
-    for p in [ProtocolChoice::Hid, ProtocolChoice::Newscast, ProtocolChoice::Khdn] {
+    for p in [
+        ProtocolChoice::Hid,
+        ProtocolChoice::Newscast,
+        ProtocolChoice::Khdn,
+    ] {
         let a = tiny(p, 33).run();
         let b = tiny(p, 33).run();
         assert_eq!(a.generated, b.generated, "{}", a.label);

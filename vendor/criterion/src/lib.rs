@@ -1,0 +1,227 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Exposes the API surface used by `crates/bench/benches/*`: `Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros. Measurement is a simple
+//! best-of-samples wall-clock loop (no statistics, no HTML reports); each
+//! benchmark prints one line:
+//!
+//! ```text
+//! bench: routing/greedy_can/256 ... 12.34 µs/iter (20 samples x 8 iters)
+//! ```
+//!
+//! Bench targets using this crate must set `harness = false`.
+
+use std::time::Instant;
+
+/// Top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark (each sample runs the closure
+    /// several times and keeps the per-iteration minimum).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Time a single standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(name, self.sample_size, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _parent: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Time `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label());
+        run_bench(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Time `f` under `name`.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let label = format!("{}/{name}", self.name);
+        run_bench(&label, self.sample_size, f);
+        self
+    }
+
+    /// End the group. (Upstream finalizes reports here; the stand-in prints
+    /// as it goes, so this is a no-op kept for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus a parameter rendered with
+/// `Display` (e.g. `BenchmarkId::new("greedy_can", 256)` → `greedy_can/256`).
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code to
+/// time.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: usize,
+    /// Best observed per-iteration time, in nanoseconds.
+    best_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(f());
+            }
+            let per_iter = start.elapsed().as_nanos() as f64 / self.iters_per_sample as f64;
+            if per_iter < self.best_ns {
+                self.best_ns = per_iter;
+            }
+        }
+    }
+}
+
+fn run_bench(label: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        // Keep total runtime bounded: benches in this workspace run whole
+        // simulation scenarios per iteration, so a handful of iterations per
+        // sample is the right order of magnitude.
+        iters_per_sample: 3,
+        samples,
+        best_ns: f64::INFINITY,
+    };
+    f(&mut b);
+    let (value, unit) = humanize_ns(b.best_ns);
+    println!(
+        "bench: {label} ... {value:.2} {unit}/iter ({samples} samples x {} iters)",
+        b.iters_per_sample
+    );
+}
+
+fn humanize_ns(ns: f64) -> (f64, &'static str) {
+    if !ns.is_finite() {
+        (0.0, "ns")
+    } else if ns < 1e3 {
+        (ns, "ns")
+    } else if ns < 1e6 {
+        (ns / 1e3, "µs")
+    } else if ns < 1e9 {
+        (ns / 1e6, "ms")
+    } else {
+        (ns / 1e9, "s")
+    }
+}
+
+/// Define a bench entry point: either the struct-ish form
+/// `criterion_group!{name = benches; config = ...; targets = a, b}` or the
+/// positional `criterion_group!(benches, a, b)`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = <$crate::Criterion as ::core::default::Default>::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate `fn main` running each group (bench targets set `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_and_runs() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 2 * 3);
+    }
+
+    #[test]
+    fn group_with_input_passes_input() {
+        let mut c = Criterion::default().sample_size(1);
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        let mut seen = 0;
+        g.bench_with_input(BenchmarkId::new("f", 42), &42, |b, &x| b.iter(|| seen = x));
+        g.finish();
+        assert_eq!(seen, 42);
+    }
+
+    #[test]
+    fn humanize_scales() {
+        assert_eq!(humanize_ns(500.0).1, "ns");
+        assert_eq!(humanize_ns(5e4).1, "µs");
+        assert_eq!(humanize_ns(5e7).1, "ms");
+        assert_eq!(humanize_ns(5e10).1, "s");
+    }
+}

@@ -1,0 +1,242 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest the workspace's property tests use:
+//! the [`proptest!`] macro (with optional `#![proptest_config(..)]`
+//! header), [`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assert_ne!`],
+//! range and collection strategies, `prop_oneof!`, `prop_map`, and
+//! weighted unions.
+//!
+//! Differences from upstream, deliberately accepted for an offline build:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs (via the
+//!   `Debug` payload embedded in assertion messages) but is not minimized.
+//! * **Fixed derived seeding.** Cases are generated from a deterministic
+//!   per-case seed, so failures reproduce exactly on re-run. Set
+//!   `PROPTEST_CASES` to raise or lower the case count (default 64).
+
+pub mod strategy;
+
+pub use strategy::{BoxedStrategy, Strategy};
+
+/// Runtime configuration for a `proptest!` block.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// Namespaced strategy constructors, mirroring `proptest::prelude::prop`.
+pub mod prop {
+    /// `Vec` strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+
+    /// Fixed-size array strategies.
+    pub mod array {
+        pub use crate::strategy::{uniform2, uniform3};
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        pub use crate::strategy::BoolAny;
+
+        /// Uniformly random booleans.
+        pub const ANY: BoolAny = BoolAny;
+    }
+}
+
+/// The usual glob import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::rngs::SmallRng;
+    pub use rand::SeedableRng;
+
+    /// Derive the RNG for one test case. Mixing the test name keeps distinct
+    /// tests on distinct streams even at equal case indexes.
+    pub fn case_rng(test_name: &str, case: u32) -> SmallRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        SmallRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+/// Fallible assertion inside a `proptest!` body: reports the failing case
+/// instead of unwinding, so the runner can attach case context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: {} at {}:{}: {}",
+                stringify!($cond),
+                file!(),
+                line!(),
+                format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "{a:?} != {b:?}");
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "{a:?} != {b:?}: {}", format!($($fmt)+));
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "{a:?} == {b:?}");
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "{a:?} == {b:?}: {}", format!($($fmt)+));
+    }};
+}
+
+/// Weighted choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
+/// Declare property tests. Each `#[test] fn name(arg in strategy, ..)`
+/// becomes a plain `#[test]` running `cases` random instantiations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_cfg ($cfg) $($rest)*);
+    };
+    (@with_cfg ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                for case in 0..cfg.cases {
+                    let mut __proptest_rng =
+                        $crate::__rt::case_rng(concat!(module_path!(), "::", stringify!($name)), case);
+                    $(
+                        let $arg = $crate::Strategy::sample(&($strat), &mut __proptest_rng);
+                    )*
+                    let __case_desc = format!(
+                        concat!("case {}", $(" ", stringify!($arg), "={:?}",)*),
+                        case $(, $arg)*
+                    );
+                    let result = (|| -> ::core::result::Result<(), String> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    if let ::core::result::Result::Err(msg) = result {
+                        panic!("proptest case failed [{}]: {}", __case_desc, msg);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 5usize..10, y in 0.0f64..1.0) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_exact_and_ranged_sizes(
+            a in prop::collection::vec(0u32..4, 7),
+            b in prop::collection::vec(0u32..4, 1..5),
+        ) {
+            prop_assert_eq!(a.len(), 7);
+            prop_assert!((1..5).contains(&b.len()));
+        }
+
+        #[test]
+        fn arrays_and_maps(p in prop::array::uniform3(0.0f64..1.0).prop_map(|a| a[0] + a[1] + a[2])) {
+            prop_assert!((0.0..3.0).contains(&p));
+        }
+
+        #[test]
+        fn oneof_weights_all_reachable(v in prop::collection::vec(prop_oneof![3 => 0u8..1, 1 => 10u8..11], 64)) {
+            prop_assert!(v.iter().all(|&x| x == 0 || x == 10));
+        }
+
+        #[test]
+        fn bools_sample_both_values(v in prop::collection::vec(prop::bool::ANY, 64)) {
+            // 64 fair coin flips missing a side has probability 2^-63.
+            prop_assert!(v.iter().any(|&b| b), "no true in 64 samples");
+            prop_assert!(v.iter().any(|&b| !b), "no false in 64 samples");
+        }
+    }
+
+    #[test]
+    fn cases_are_reproducible() {
+        let mut a = crate::__rt::case_rng("t", 3);
+        let mut b = crate::__rt::case_rng("t", 3);
+        let s = 0.0f64..1.0;
+        assert_eq!(Strategy::sample(&s, &mut a), Strategy::sample(&s, &mut b));
+    }
+}

@@ -1,0 +1,187 @@
+//! Value-generation strategies.
+//!
+//! A [`Strategy`] deterministically maps an RNG state to a value. This is
+//! the generation half of upstream proptest's `Strategy` (no value trees,
+//! no shrinking).
+
+use rand::rngs::SmallRng;
+use rand::RngExt;
+
+/// A recipe for generating values of type [`Strategy::Value`].
+pub trait Strategy {
+    type Value;
+
+    /// Generate one value.
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase the strategy (needed by `prop_oneof!` arms of mixed
+    /// concrete types).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut SmallRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn sample(&self, rng: &mut SmallRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Uniformly random booleans (`prop::bool::ANY`).
+#[derive(Clone, Copy, Debug)]
+pub struct BoolAny;
+
+impl Strategy for BoolAny {
+    type Value = bool;
+    fn sample(&self, rng: &mut SmallRng) -> bool {
+        rng.random()
+    }
+}
+
+/// Vector lengths accepted by [`vec`]: an exact `usize` or a `Range`.
+pub trait SizeRange {
+    fn sample_len(&self, rng: &mut SmallRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn sample_len(&self, _: &mut SmallRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for core::ops::Range<usize> {
+    fn sample_len(&self, rng: &mut SmallRng) -> usize {
+        rng.random_range(self.clone())
+    }
+}
+
+impl SizeRange for core::ops::RangeInclusive<usize> {
+    fn sample_len(&self, rng: &mut SmallRng) -> usize {
+        rng.random_range(self.clone())
+    }
+}
+
+/// `prop::collection::vec(element, size)`.
+pub fn vec<S: Strategy, L: SizeRange>(element: S, size: L) -> VecStrategy<S, L> {
+    VecStrategy { element, size }
+}
+
+pub struct VecStrategy<S, L> {
+    element: S,
+    size: L,
+}
+
+impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+        let n = self.size.sample_len(rng);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// `prop::array::uniform2(element)`.
+pub fn uniform2<S: Strategy>(element: S) -> ArrayStrategy<S, 2> {
+    ArrayStrategy { element }
+}
+
+/// `prop::array::uniform3(element)`.
+pub fn uniform3<S: Strategy>(element: S) -> ArrayStrategy<S, 3> {
+    ArrayStrategy { element }
+}
+
+pub struct ArrayStrategy<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for ArrayStrategy<S, N> {
+    type Value = [S::Value; N];
+    fn sample(&self, rng: &mut SmallRng) -> [S::Value; N] {
+        core::array::from_fn(|_| self.element.sample(rng))
+    }
+}
+
+/// Weighted union of same-valued strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positive weight");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        let mut pick = rng.random_range(0..self.total);
+        for (w, s) in &self.arms {
+            if pick < *w as u64 {
+                return s.sample(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weights changed during sampling")
+    }
+}

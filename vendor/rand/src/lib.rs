@@ -1,0 +1,240 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements exactly the surface the workspace draws on:
+//!
+//! * [`rngs::SmallRng`] — a seedable xoshiro256++ generator,
+//! * [`SeedableRng::seed_from_u64`] — SplitMix64 state expansion,
+//! * [`Rng`] — the core `next_u32`/`next_u64` source trait,
+//! * [`RngExt`] — `random::<T>()`, `random_range(..)`, `random_bool(p)`.
+//!
+//! Determinism is the load-bearing property: every generator is a pure
+//! function of its seed, with no global or thread-local state, so simulation
+//! runs are exactly reproducible from `(scenario, seed)` — the guarantee
+//! `soc_simcore::stream_rng` builds its independent streams on.
+
+pub mod rngs;
+
+/// A source of random bits. Only the raw-output methods live here; the
+/// polymorphic sampling helpers are on [`RngExt`] so that both traits mirror
+/// the import style used across the workspace (`use rand::{Rng, RngExt}`).
+pub trait Rng {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits (upper half of [`Rng::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types samplable uniformly over their whole domain (`[0,1)` for floats)
+/// via [`RngExt::random`].
+pub trait Standard: Sized {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Standard for i128 {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        u128::sample_standard(rng) as i128
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 explicit mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Element types usable with [`RngExt::random_range`]. Keeping the element
+/// type (not the range type) generic lets the usual `rng.random_range(0..n)`
+/// literals infer from context, e.g. as slice indexes.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[lo, hi)`, or `[lo, hi]` when `inclusive`.
+    /// The caller guarantees the interval is non-empty.
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let span = (hi as i128).wrapping_sub(lo as i128) as u128
+                    + if inclusive { 1 } else { 0 };
+                if span == 0 || span > u64::MAX as u128 {
+                    // Only reachable for (near-)full-domain u64/i64 ranges.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() % span as u64) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let u = <$t as Standard>::sample_standard(rng);
+                let x = lo + u * (hi - lo);
+                // `lo + u*(hi-lo)` can round up to `hi` even though u < 1;
+                // keep the documented exclusive upper bound. (Inclusive
+                // float ranges are treated as the same continuous interval —
+                // a single endpoint has measure zero.)
+                if !inclusive && x >= hi {
+                    lo
+                } else {
+                    x
+                }
+            }
+        }
+    )*};
+}
+impl_sample_uniform_float!(f32, f64);
+
+/// Polymorphic sampling helpers, blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// A uniformly random value over `T`'s full domain (`[0,1)` for floats).
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// A uniformly random value in `range`. Panics on an empty or unbounded
+    /// range.
+    fn random_range<T: SampleUniform, Rg: core::ops::RangeBounds<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        use core::ops::Bound;
+        let lo = match range.start_bound() {
+            Bound::Included(&lo) => lo,
+            Bound::Excluded(_) | Bound::Unbounded => {
+                panic!("random_range requires an inclusive lower bound")
+            }
+        };
+        match range.end_bound() {
+            Bound::Excluded(&hi) => {
+                assert!(lo < hi, "cannot sample empty range");
+                T::sample_uniform(self, lo, hi, false)
+            }
+            Bound::Included(&hi) => {
+                assert!(lo <= hi, "cannot sample empty range");
+                T::sample_uniform(self, lo, hi, true)
+            }
+            Bound::Unbounded => panic!("random_range requires an upper bound"),
+        }
+    }
+
+    /// `true` with probability `p` (clamped to `[0,1]`).
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: Rng> RngExt for R {}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Expand a 64-bit seed into full generator state. Two distinct seeds
+    /// yield decorrelated streams (SplitMix64 expansion, as in upstream
+    /// `rand`).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn determinism_from_seed() {
+        let mut a = SmallRng::seed_from_u64(99);
+        let mut b = SmallRng::seed_from_u64(99);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn unit_interval_floats() {
+        let mut r = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = r.random::<f64>();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_sampling_stays_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let i = r.random_range(3usize..17);
+            assert!((3..17).contains(&i));
+            let f = r.random_range(0.2f64..=2.0);
+            assert!((0.2..=2.0).contains(&f));
+            let u = r.random_range(5u64..=5);
+            assert_eq!(u, 5);
+        }
+    }
+
+    #[test]
+    fn random_bool_extremes() {
+        let mut r = SmallRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert!(!r.random_bool(0.0));
+            assert!(r.random_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn mean_of_unit_samples_is_centered() {
+        let mut r = SmallRng::seed_from_u64(6);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| r.random::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,76 @@
+//! Concrete generators. Only [`SmallRng`] is provided: a xoshiro256++
+//! generator — small state, fast, and statistically strong enough for
+//! simulation workloads (the same algorithm upstream `rand` uses for its
+//! `SmallRng` on 64-bit targets).
+
+use crate::{Rng, SeedableRng};
+
+/// xoshiro256++ by Blackman & Vigna (public domain reference algorithm).
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SmallRng { s }
+    }
+}
+
+impl Rng for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_vector() {
+        // xoshiro256++ with state [1,2,3,4]: first outputs from the
+        // published reference implementation.
+        let mut r = SmallRng { s: [1, 2, 3, 4] };
+        let got: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![41943041, 58720359, 3588806011781223, 3591011842654386]
+        );
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let mut a = SmallRng::seed_from_u64(0);
+        let mut b = SmallRng::seed_from_u64(1);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+}
