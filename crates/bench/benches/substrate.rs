@@ -94,6 +94,52 @@ fn bench_diffusion(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_event_queue(c: &mut Criterion) {
+    // The simulator's innermost loop: hold a realistic pending-event
+    // population and do schedule+pop round-trips with the runner's latency
+    // mix (LAN 2–10 ms, WAN 150–250 ms, task/protocol timers in seconds).
+    use soc_simcore::{EventQueue, QueueBackend};
+    let mut g = c.benchmark_group("event_queue");
+    let delays: Vec<u64> = {
+        let mut rng = SmallRng::seed_from_u64(46);
+        (0..1024)
+            .map(|_| match rng.random_range(0..10u32) {
+                0..=3 => rng.random_range(2..=10),       // LAN hop
+                4..=7 => rng.random_range(150..=250),    // WAN hop
+                8 => rng.random_range(1_000..=60_000),   // timeout/transfer
+                _ => rng.random_range(60_000..=600_000), // protocol cycle
+            })
+            .collect()
+    };
+    for (label, backend) in [
+        ("heap", QueueBackend::Heap),
+        ("calendar", QueueBackend::Calendar),
+    ] {
+        g.bench_function(&format!("steady_state_{label}"), |b| {
+            let mut q: EventQueue<u32> = EventQueue::with_backend(backend);
+            for (i, &d) in delays.iter().enumerate() {
+                q.schedule_in(d * 16, i as u32);
+            }
+            let mut i = 0usize;
+            b.iter(|| {
+                // Alternating net +1 / net −1 iterations: the pending
+                // population oscillates around its initial 1024 — a
+                // steady-state simulation, never draining or ballooning.
+                let ev = q.pop().expect("queue never drains");
+                i = (i + 1) % delays.len();
+                q.schedule_in(delays[i], ev.1);
+                if i % 2 == 0 {
+                    q.schedule_in(delays[(i * 7) % delays.len()], ev.1);
+                } else {
+                    q.pop();
+                }
+                black_box(ev)
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_psm(c: &mut Criterion) {
     let mut g = c.benchmark_group("psm");
     let cap = ResVec::from_slice(&[25.6, 80.0, 10.0, 240.0, 4096.0]);
@@ -151,6 +197,6 @@ fn bench_psm(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_routing, bench_inscan_rq, bench_diffusion, bench_psm
+    targets = bench_routing, bench_inscan_rq, bench_diffusion, bench_event_queue, bench_psm
 }
 criterion_main!(benches);

@@ -6,44 +6,68 @@
 //! repro fig8              # Fig. 8: HID-CAN under churn
 //! repro table3            # Table III: HID-CAN scalability
 //! repro all               # everything above
+//! repro perf              # serial/parallel x heap/calendar timing grid
+//!                         #   (writes BENCH_PR2.json, see --out)
+//! repro diag              # λ=0.5 rejection split, ground-truth oracle on
 //! ```
 //!
-//! Options: `--scale full|smoke` (default smoke), `--seed N` (default 1).
+//! Options: `--scale full|smoke|bench` (default smoke), `--seed N`
+//! (default 1), `--out PATH` (perf JSON, default `BENCH_PR2.json`).
 //! Full scale reproduces §IV-A exactly (2000–12000 nodes, 24 simulated
 //! hours) and takes minutes per figure; smoke preserves the shapes in
 //! seconds.
 
 use soc_bench::{
-    fig4, fig5, fig8, fig8_checkpointing, print_fig8, print_series, print_table3, table3, Scale,
+    diag_lambda05, fig4, fig5, fig8, fig8_checkpointing, perf, print_diag, print_fig8,
+    print_series, print_table3, table3, Scale,
 };
 
 struct Args {
     cmd: String,
     scale: Scale,
+    scale_label: &'static str,
     seed: u64,
     lambda: f64,
+    out: String,
+    reps: usize,
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
         cmd: String::new(),
         scale: Scale::smoke(),
+        scale_label: "smoke",
         seed: 1,
         lambda: 1.0,
+        out: "BENCH_PR2.json".to_string(),
+        reps: 2,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--scale" => {
                 let v = it.next().unwrap_or_default();
-                args.scale = match v.as_str() {
-                    "full" => Scale::full(),
-                    "smoke" => Scale::smoke(),
+                (args.scale, args.scale_label) = match v.as_str() {
+                    "full" => (Scale::full(), "full"),
+                    "smoke" => (Scale::smoke(), "smoke"),
+                    "bench" => (Scale::bench(), "bench"),
                     other => {
-                        eprintln!("unknown scale {other:?} (use full|smoke)");
+                        eprintln!("unknown scale {other:?} (use full|smoke|bench)");
                         std::process::exit(2);
                     }
                 };
+            }
+            "--out" => {
+                args.out = it.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            "--reps" => {
+                args.reps = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--reps needs an integer");
+                    std::process::exit(2);
+                });
             }
             "--seed" => {
                 args.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
@@ -67,7 +91,10 @@ fn parse_args() -> Args {
         }
     }
     if args.cmd.is_empty() {
-        eprintln!("usage: repro <fig4|fig5|fig8|table3|ckpt|all> [--scale full|smoke] [--seed N] [--lambda L]");
+        eprintln!(
+            "usage: repro <fig4|fig5|fig8|table3|ckpt|perf|diag|all> \
+             [--scale full|smoke|bench] [--seed N] [--lambda L] [--out PATH] [--reps N]"
+        );
         std::process::exit(2);
     }
     args
@@ -143,6 +170,36 @@ fn run_table3(scale: Scale, seed: u64) {
     }
 }
 
+fn run_perf(args: &Args) {
+    println!(
+        "== perf: sweep parallelism x event-queue backend ({} scale) ==",
+        args.scale_label
+    );
+    let rep = perf::perf_compare(args.scale, args.scale_label, args.seed, args.reps);
+    println!("{}", rep.render());
+    if !rep.deterministic {
+        eprintln!("FATAL: configurations disagreed — optimisation changed results");
+        std::process::exit(1);
+    }
+    std::fs::write(&args.out, rep.to_json()).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    });
+    println!("wrote {}", args.out);
+}
+
+fn run_diag(scale: Scale, seed: u64) {
+    println!("== diagnostic: λ=0.5 rejection split (oracle on) ==");
+    let reports = diag_lambda05(scale, seed);
+    println!("{}", print_diag(&reports));
+    for r in &reports {
+        println!("# {}", r.summary());
+        if !r.diag.is_empty() {
+            println!("#   {}", r.diag);
+        }
+    }
+}
+
 fn main() {
     let args = parse_args();
     match args.cmd.as_str() {
@@ -158,6 +215,8 @@ fn main() {
         "fig8" => run_fig8(args.scale, args.seed),
         "ckpt" => run_ckpt(args.scale, args.seed),
         "table3" => run_table3(args.scale, args.seed),
+        "perf" => run_perf(&args),
+        "diag" => run_diag(args.scale, args.seed),
         "all" => {
             run_fig4(args.scale, args.seed);
             for l in [1.0, 0.5, 0.25] {

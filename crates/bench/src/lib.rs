@@ -7,6 +7,9 @@
 //! the command line; the Criterion benches call the same code at smoke
 //! scale so `cargo bench` regenerates every figure's shape.
 
+pub mod perf;
+pub mod sweep;
+
 use soc_sim::{ProtocolChoice, RunReport, Scenario};
 
 /// Experiment sizing.
@@ -67,6 +70,15 @@ impl Scale {
     }
 }
 
+/// Run every scenario of a sweep through the parallel fan-out engine.
+///
+/// One task per grid cell; results come back in cell order, so the output
+/// is bitwise identical to the serial loop the figures used to run (the
+/// `parallel_equivalence` integration test pins this).
+fn run_cells(cells: Vec<Scenario>) -> Vec<RunReport> {
+    sweep::map_indexed(cells.len(), |i| cells[i].run())
+}
+
 /// Fig. 4: SID-CAN vs Newscast vs KHDN-CAN at λ = 0.84 and λ = 0.25
 /// (throughput-ratio series). Returns `(λ, reports)` pairs.
 pub fn fig4(scale: Scale, seed: u64) -> Vec<(f64, Vec<RunReport>)> {
@@ -75,58 +87,73 @@ pub fn fig4(scale: Scale, seed: u64) -> Vec<(f64, Vec<RunReport>)> {
         ProtocolChoice::Sid,
         ProtocolChoice::Khdn,
     ];
-    [0.84, 0.25]
-        .into_iter()
-        .map(|lambda| {
-            let reports = protos
+    let lambdas = [0.84, 0.25];
+    let cells: Vec<Scenario> = lambdas
+        .iter()
+        .flat_map(|&lambda| {
+            protos
                 .iter()
-                .map(|&p| scale.scenario(p).lambda(lambda).seed(seed).run())
-                .collect();
-            (lambda, reports)
+                .map(move |&p| scale.scenario(p).lambda(lambda).seed(seed))
         })
+        .collect();
+    let mut reports = run_cells(cells);
+    lambdas
+        .into_iter()
+        .map(|lambda| (lambda, reports.drain(..protos.len()).collect()))
         .collect()
 }
 
 /// Fig. 5/6/7: the six protocols at one demand ratio (λ = 1, 0.5, 0.25),
 /// reporting T-Ratio, F-Ratio and fairness series.
 pub fn fig5(scale: Scale, lambda: f64, seed: u64) -> Vec<RunReport> {
-    ProtocolChoice::FIG5
-        .iter()
-        .map(|&p| scale.scenario(p).lambda(lambda).seed(seed).run())
-        .collect()
+    run_cells(
+        ProtocolChoice::FIG5
+            .iter()
+            .map(|&p| scale.scenario(p).lambda(lambda).seed(seed))
+            .collect(),
+    )
 }
 
 /// Fig. 8: HID-CAN at λ = 0.5 under churn degrees 0/25/50/75/95%.
 pub fn fig8(scale: Scale, seed: u64) -> Vec<(f64, RunReport)> {
-    [0.0, 0.25, 0.5, 0.75, 0.95]
-        .into_iter()
-        .map(|deg| {
-            let r = scale
+    const DEGREES: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 0.95];
+    let cells: Vec<Scenario> = DEGREES
+        .iter()
+        .map(|&deg| {
+            scale
                 .scenario(ProtocolChoice::Hid)
                 .lambda(0.5)
                 .churn(deg)
                 .seed(seed)
-                .run();
-            (deg, r)
         })
-        .collect()
+        .collect();
+    DEGREES.into_iter().zip(run_cells(cells)).collect()
 }
 
 /// Extension (the paper's §VI future work): HID-CAN under churn with
 /// checkpoint-based execution fault tolerance on/off.
 pub fn fig8_checkpointing(scale: Scale, seed: u64) -> Vec<(f64, RunReport, RunReport)> {
-    [0.25, 0.5, 0.75, 0.95]
-        .into_iter()
-        .map(|deg| {
+    const DEGREES: [f64; 4] = [0.25, 0.5, 0.75, 0.95];
+    // Two cells per churn degree: plain, then checkpointing.
+    let cells: Vec<Scenario> = DEGREES
+        .iter()
+        .flat_map(|&deg| {
             let base = scale
                 .scenario(ProtocolChoice::Hid)
                 .lambda(0.5)
                 .churn(deg)
                 .seed(seed);
-            let plain = base.run();
             let mut ck = base;
             ck.checkpointing = true;
-            let ckpt = ck.run();
+            [base, ck]
+        })
+        .collect();
+    let mut reports = run_cells(cells).into_iter();
+    DEGREES
+        .into_iter()
+        .map(|deg| {
+            let plain = reports.next().expect("plain cell");
+            let ckpt = reports.next().expect("checkpointing cell");
             (deg, plain, ckpt)
         })
         .collect()
@@ -134,18 +161,84 @@ pub fn fig8_checkpointing(scale: Scale, seed: u64) -> Vec<(f64, RunReport, RunRe
 
 /// Table III: HID-CAN scalability across node counts at λ = 0.5.
 pub fn table3(scale: Scale, seed: u64) -> Vec<RunReport> {
-    scale
-        .table3_nodes
-        .iter()
-        .map(|&n| {
-            scale
-                .scenario(ProtocolChoice::Hid)
-                .nodes(n)
-                .lambda(0.5)
-                .seed(seed)
-                .run()
-        })
-        .collect()
+    run_cells(
+        scale
+            .table3_nodes
+            .iter()
+            .map(|&n| {
+                scale
+                    .scenario(ProtocolChoice::Hid)
+                    .nodes(n)
+                    .lambda(0.5)
+                    .seed(seed)
+            })
+            .collect(),
+    )
+}
+
+/// Oracle-on diagnostic for the λ = 0.5 rejection-rate anomaly (ROADMAP):
+/// reruns the Table III sweep with the ground-truth oracle enabled so the
+/// lost tasks can be split into
+///
+/// * **unmatchable** — no live node qualified when the query was issued
+///   (failure inevitable, not a protocol defect),
+/// * **discovery misses** — a qualified node existed but the search
+///   returned no live candidate,
+/// * **re-check rejections** — candidates were found, but every selected
+///   node failed Inequality (2) again on task arrival (stale records /
+///   contention casualties).
+pub fn diag_lambda05(scale: Scale, seed: u64) -> Vec<RunReport> {
+    run_cells(
+        scale
+            .table3_nodes
+            .iter()
+            .map(|&n| {
+                let mut sc = scale
+                    .scenario(ProtocolChoice::Hid)
+                    .nodes(n)
+                    .lambda(0.5)
+                    .seed(seed);
+                sc.oracle = true;
+                sc
+            })
+            .collect(),
+    )
+}
+
+/// Render the λ = 0.5 diagnostic split (all counts relative to overlay
+/// submissions).
+///
+/// `disc_miss_lb = failed − unmatchable` is a **lower bound** on discovery
+/// misses: the oracle verdict is aggregated per run, not joined per query,
+/// and an unmatchable query can still end `rejected` (stale records get it
+/// dispatched) rather than `failed`. `failed` itself upper-bounds
+/// discovery-related loss, so the bracket `[disc_miss_lb, failed]` is tight
+/// whenever `failed ≪ rejected` — which is exactly the observed regime.
+pub fn print_diag(reports: &[RunReport]) -> String {
+    let mut out = String::from(
+        "scenario\tgen\tfinished\tfailed\trejected\tkilled\tunmatchable\tdisc_miss_lb\trecord_hit%\tmean_match\n",
+    );
+    for r in reports {
+        let matchable = r.oracle_matchable.unwrap_or(0);
+        let unmatchable = r.generated.saturating_sub(matchable);
+        let disc_miss = r.failed.saturating_sub(unmatchable);
+        let record_hit =
+            r.oracle_record_matchable.unwrap_or(0) as f64 / r.generated.max(1) as f64 * 100.0;
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.1}\t{:.1}\n",
+            r.scenario,
+            r.generated,
+            r.finished,
+            r.failed,
+            r.rejected,
+            r.killed,
+            unmatchable,
+            disc_miss,
+            record_hit,
+            r.oracle_mean_matching.unwrap_or(0.0),
+        ));
+    }
+    out
 }
 
 /// Render a set of series reports side by side (one column per protocol),

@@ -1,0 +1,294 @@
+//! `repro perf`: wall-clock A/B harness for the two PR-2 optimisations.
+//!
+//! Times the Table III and Fig. 4 sweeps under every combination of
+//! {serial, parallel} × {heap, calendar} by flipping the `SOC_BENCH_THREADS`
+//! and `SOC_SIM_QUEUE` environment variables (both are re-read per sweep /
+//! per queue construction precisely so one process can compare them), and
+//! cross-checks that all four configurations produce **bitwise identical**
+//! reports — the optimisations must never change simulation results.
+//!
+//! The result is written as `BENCH_PR2.json`, the first point of the
+//! repo's performance trajectory.
+
+use crate::{fig4, sweep, table3, Scale};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One timed sweep execution.
+#[derive(Clone, Debug)]
+pub struct PerfRow {
+    /// Which sweep ran (`table3` / `fig4`).
+    pub sweep: &'static str,
+    /// `serial` or `parallel`.
+    pub mode: &'static str,
+    /// `heap` or `calendar`.
+    pub queue: &'static str,
+    /// Worker threads the sweep engine used.
+    pub threads: usize,
+    /// Wall-clock milliseconds.
+    pub wall_ms: u128,
+    /// Per-cell wall times (ms) from the run that achieved `wall_ms` —
+    /// `sum(cells)/max(cells)` bounds the sweep's parallel speedup.
+    pub cell_ms: Vec<u128>,
+}
+
+/// Everything `repro perf` measured.
+#[derive(Clone, Debug)]
+pub struct PerfReport {
+    /// Scale label (`smoke` / `full` / `bench`).
+    pub scale: &'static str,
+    /// Master seed used for every cell.
+    pub seed: u64,
+    /// Threads the parallel mode used (honest: 1 on a 1-core host).
+    pub parallel_threads: usize,
+    /// All timed runs.
+    pub rows: Vec<PerfRow>,
+    /// Did every configuration produce bitwise-identical reports?
+    pub deterministic: bool,
+}
+
+fn env_guard(key: &'static str, value: Option<String>) -> impl Drop {
+    struct Restore {
+        key: &'static str,
+        prev: Option<String>,
+    }
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            match self.prev.take() {
+                Some(v) => std::env::set_var(self.key, v),
+                None => std::env::remove_var(self.key),
+            }
+        }
+    }
+    let prev = std::env::var(key).ok();
+    match value {
+        Some(v) => std::env::set_var(key, v),
+        None => std::env::remove_var(key),
+    }
+    Restore { key, prev }
+}
+
+/// Time one `(mode, queue)` configuration once; returns the two rows plus
+/// the concatenated fingerprints of every report produced.
+fn run_config(
+    scale: Scale,
+    seed: u64,
+    mode: &'static str,
+    threads: usize,
+    queue: &'static str,
+) -> (Vec<PerfRow>, String) {
+    let _t = env_guard("SOC_BENCH_THREADS", Some(threads.to_string()));
+    let _q = env_guard("SOC_SIM_QUEUE", Some(queue.to_string()));
+    let mut rows = Vec::new();
+    let mut prints = String::new();
+
+    let start = Instant::now();
+    let t3 = table3(scale, seed);
+    rows.push(PerfRow {
+        sweep: "table3",
+        mode,
+        queue,
+        threads,
+        wall_ms: start.elapsed().as_millis(),
+        cell_ms: t3.iter().map(|r| r.wall_ms).collect(),
+    });
+    for r in &t3 {
+        let _ = writeln!(prints, "{}", r.fingerprint());
+    }
+
+    let start = Instant::now();
+    let f4 = fig4(scale, seed);
+    rows.push(PerfRow {
+        sweep: "fig4",
+        mode,
+        queue,
+        threads,
+        wall_ms: start.elapsed().as_millis(),
+        cell_ms: f4
+            .iter()
+            .flat_map(|(_, g)| g.iter().map(|r| r.wall_ms))
+            .collect(),
+    });
+    for (_, group) in &f4 {
+        for r in group {
+            let _ = writeln!(prints, "{}", r.fingerprint());
+        }
+    }
+    (rows, prints)
+}
+
+/// Run the full 2×2 comparison grid, `reps` times interleaved; each row
+/// keeps its best (minimum) wall time, the standard noise-robust estimator
+/// for shared runners.
+pub fn perf_compare(scale: Scale, scale_label: &'static str, seed: u64, reps: usize) -> PerfReport {
+    let parallel_threads = sweep::thread_count();
+    let grid: [(&'static str, usize, &'static str); 4] = [
+        ("serial", 1, "heap"),
+        ("serial", 1, "calendar"),
+        ("parallel", parallel_threads, "heap"),
+        ("parallel", parallel_threads, "calendar"),
+    ];
+    let mut rows: Vec<PerfRow> = Vec::new();
+    let mut fingerprints: Vec<String> = Vec::new();
+    for rep in 0..reps.max(1) {
+        // Interleaving the grid across reps (instead of repeating each
+        // config back-to-back) spreads slow-machine phases fairly.
+        for (mode, threads, queue) in grid {
+            eprintln!("perf: rep {rep}: timing {mode}+{queue} (threads={threads}) ...");
+            let (timed, fp) = run_config(scale, seed, mode, threads, queue);
+            fingerprints.push(fp);
+            for t in timed {
+                match rows
+                    .iter_mut()
+                    .find(|r| r.sweep == t.sweep && r.mode == t.mode && r.queue == t.queue)
+                {
+                    Some(r) => {
+                        if t.wall_ms < r.wall_ms {
+                            r.wall_ms = t.wall_ms;
+                            r.cell_ms = t.cell_ms;
+                        }
+                    }
+                    None => rows.push(t),
+                }
+            }
+        }
+    }
+    let deterministic = fingerprints.windows(2).all(|w| w[0] == w[1]);
+    PerfReport {
+        scale: scale_label,
+        seed,
+        parallel_threads,
+        rows,
+        deterministic,
+    }
+}
+
+impl PerfReport {
+    fn wall(&self, sweep: &str, mode: &str, queue: &str) -> Option<u128> {
+        self.rows
+            .iter()
+            .find(|r| r.sweep == sweep && r.mode == mode && r.queue == queue)
+            .map(|r| r.wall_ms)
+    }
+
+    /// `baseline / optimised` for one sweep (≥ 1 means the optimised
+    /// configuration is faster).
+    pub fn speedup(&self, sweep: &str) -> Option<f64> {
+        let base = self.wall(sweep, "serial", "heap")?;
+        let opt = self.wall(sweep, "parallel", "calendar")?;
+        Some(base as f64 / (opt.max(1)) as f64)
+    }
+
+    /// Human-readable comparison table.
+    pub fn render(&self) -> String {
+        let mut out = String::from("sweep\tmode\tqueue\tthreads\twall_ms\n");
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}\t{}\t{}\t{}\t{}",
+                r.sweep, r.mode, r.queue, r.threads, r.wall_ms
+            );
+        }
+        for sweep in ["table3", "fig4"] {
+            if let Some(s) = self.speedup(sweep) {
+                let _ = writeln!(
+                    out,
+                    "# {sweep}: parallel+calendar is {s:.2}x vs serial+heap"
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "# reports bitwise-identical across all configs: {}",
+            self.deterministic
+        );
+        out
+    }
+
+    /// Serialize by hand (no serde offline) — stable key order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"bench\": \"PR2 sweep+queue perf\",");
+        let _ = writeln!(out, "  \"scale\": \"{}\",", self.scale);
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"parallel_threads\": {},", self.parallel_threads);
+        let _ = writeln!(out, "  \"deterministic\": {},", self.deterministic);
+        let _ = writeln!(
+            out,
+            "  \"speedup_table3_parallel_calendar_vs_serial_heap\": {},",
+            self.speedup("table3")
+                .map(|s| format!("{s:.3}"))
+                .unwrap_or_else(|| "null".into())
+        );
+        let _ = writeln!(
+            out,
+            "  \"speedup_fig4_parallel_calendar_vs_serial_heap\": {},",
+            self.speedup("fig4")
+                .map(|s| format!("{s:.3}"))
+                .unwrap_or_else(|| "null".into())
+        );
+        out.push_str("  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            let comma = if i + 1 < self.rows.len() { "," } else { "" };
+            let cells: Vec<String> = r.cell_ms.iter().map(|c| c.to_string()).collect();
+            let _ = writeln!(
+                out,
+                "    {{\"sweep\": \"{}\", \"mode\": \"{}\", \"queue\": \"{}\", \"threads\": {}, \"wall_ms\": {}, \"cell_ms\": [{}]}}{comma}",
+                r.sweep, r.mode, r.queue, r.threads, r.wall_ms, cells.join(", ")
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_sane() {
+        let rep = PerfReport {
+            scale: "bench",
+            seed: 1,
+            parallel_threads: 4,
+            rows: vec![
+                PerfRow {
+                    sweep: "table3",
+                    mode: "serial",
+                    queue: "heap",
+                    threads: 1,
+                    wall_ms: 100,
+                    cell_ms: vec![20, 30, 50],
+                },
+                PerfRow {
+                    sweep: "table3",
+                    mode: "parallel",
+                    queue: "calendar",
+                    threads: 4,
+                    wall_ms: 25,
+                    cell_ms: vec![20, 30, 50],
+                },
+            ],
+            deterministic: true,
+        };
+        assert_eq!(rep.speedup("table3"), Some(4.0));
+        let j = rep.to_json();
+        assert!(j.contains("\"deterministic\": true"));
+        assert!(j.contains("\"wall_ms\": 25"));
+        assert!(j.trim_end().ends_with('}'));
+        let t = rep.render();
+        assert!(t.contains("4.00x"));
+    }
+
+    #[test]
+    fn env_guard_restores() {
+        std::env::set_var("SOC_PERF_GUARD_TEST", "orig");
+        {
+            let _g = env_guard("SOC_PERF_GUARD_TEST", Some("temp".into()));
+            assert_eq!(std::env::var("SOC_PERF_GUARD_TEST").unwrap(), "temp");
+        }
+        assert_eq!(std::env::var("SOC_PERF_GUARD_TEST").unwrap(), "orig");
+        std::env::remove_var("SOC_PERF_GUARD_TEST");
+    }
+}

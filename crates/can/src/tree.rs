@@ -11,6 +11,7 @@
 
 use crate::zone::{Point, Zone};
 use soc_types::NodeId;
+use std::cell::Cell;
 use std::collections::HashMap;
 
 #[derive(Clone, Debug)]
@@ -41,7 +42,17 @@ pub struct PartitionTree {
     root: usize,
     leaf_of: HashMap<NodeId, usize>,
     dim: usize,
+    /// Last leaf returned by [`PartitionTree::find_leaf`]. Point queries
+    /// cluster (oracle checks re-resolve the same demand corner, state
+    /// updates hit the same duty zones), so checking the previous hit —
+    /// O(d) containment — usually skips the O(depth) descent. Invalidated
+    /// on every structural change; leaves tile the space, so any *live*
+    /// leaf whose zone contains the point is the unique correct answer.
+    last_hit: Cell<usize>,
 }
+
+/// Sentinel for an empty/invalidated `last_hit` cache.
+const NO_HIT: usize = usize::MAX;
 
 impl PartitionTree {
     /// A tree with a single leaf (the whole space) owned by `first`.
@@ -60,6 +71,7 @@ impl PartitionTree {
             root: 0,
             leaf_of,
             dim,
+            last_hit: Cell::new(NO_HIT),
         }
     }
 
@@ -90,10 +102,23 @@ impl PartitionTree {
 
     /// Owner of the leaf containing `p`.
     pub fn find_leaf(&self, p: &Point) -> NodeId {
+        // Last-hit fast path: valid between structural changes (the cache
+        // is cleared on join/leave, so the slot is a live leaf).
+        let cached = self.last_hit.get();
+        if cached != NO_HIT {
+            if let NodeKind::Leaf(owner) = self.nodes[cached].kind {
+                if self.nodes[cached].zone.contains(p) {
+                    return owner;
+                }
+            }
+        }
         let mut i = self.root;
         loop {
             match self.nodes[i].kind {
-                NodeKind::Leaf(owner) => return owner,
+                NodeKind::Leaf(owner) => {
+                    self.last_hit.set(i);
+                    return owner;
+                }
                 NodeKind::Internal { left, right } => {
                     i = if self.nodes[left].zone.contains(p) {
                         left
@@ -171,6 +196,7 @@ impl PartitionTree {
         self.nodes[leaf_idx].kind = NodeKind::Internal { left, right };
         self.leaf_of.insert(left_owner, left);
         self.leaf_of.insert(right_owner, right);
+        self.last_hit.set(NO_HIT);
 
         (owner, new_zone, old_zone)
     }
@@ -237,6 +263,9 @@ impl PartitionTree {
     /// # Panics
     /// Panics if `node` is not in the overlay.
     pub fn leave(&mut self, node: NodeId) -> Option<Vec<(NodeId, Zone)>> {
+        // Collapse frees tree slots without rewriting them; a cached slot
+        // could otherwise keep answering as a stale leaf.
+        self.last_hit.set(NO_HIT);
         let leaf_idx = *self.leaf_of.get(&node).expect("node not in overlay");
         self.leaf_of.remove(&node);
         let Some(sib) = self.sibling(leaf_idx) else {
@@ -419,6 +448,26 @@ mod tests {
             assert!(t.contains_node(owner));
             assert!(t.zone_of(owner).unwrap().contains(&p));
         }
+    }
+
+    #[test]
+    fn last_hit_cache_survives_churn() {
+        let mut t = PartitionTree::new(2, NodeId(0));
+        t.join(NodeId(1), &pt(&[0.9, 0.5]));
+        t.join(NodeId(2), &pt(&[0.9, 0.9]));
+        let p = pt(&[0.9, 0.9]);
+        // Warm the cache, then hit it repeatedly.
+        assert_eq!(t.find_leaf(&p), NodeId(2));
+        assert_eq!(t.find_leaf(&p), NodeId(2));
+        // Structural change: the cached leaf splits; answers must follow.
+        t.join(NodeId(3), &pt(&[0.99, 0.99]));
+        let owner = t.find_leaf(&p);
+        assert!(t.zone_of(owner).unwrap().contains(&p));
+        // Leave collapses zones; the stale slot must not answer.
+        t.leave(owner).unwrap();
+        let owner2 = t.find_leaf(&p);
+        assert!(t.zone_of(owner2).unwrap().contains(&p));
+        t.validate().unwrap();
     }
 
     #[test]

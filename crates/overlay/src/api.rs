@@ -133,6 +133,28 @@ impl<'a, M> Ctx<'a, M> {
         }
     }
 
+    /// Build a context that reuses a recycled effects buffer.
+    ///
+    /// The scenario runner constructs one `Ctx` per delivered event; handing
+    /// back the drained buffer from the previous event makes the per-event
+    /// allocation count zero on the steady-state path.
+    pub fn new_in(
+        now: SimMillis,
+        can: &'a CanOverlay,
+        host: &'a dyn HostInfo,
+        rng: &'a mut SmallRng,
+        mut buffer: Vec<Effect<M>>,
+    ) -> Self {
+        buffer.clear();
+        Ctx {
+            now,
+            can,
+            host,
+            rng,
+            effects: buffer,
+        }
+    }
+
     /// Queue a message send.
     pub fn send(&mut self, from: NodeId, to: NodeId, kind: MsgKind, msg: M) {
         self.effects.push(Effect::Send {

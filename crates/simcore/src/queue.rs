@@ -1,10 +1,55 @@
 //! The timestamped event queue.
+//!
+//! Two interchangeable backends sit behind the same [`EventQueue`] API:
+//!
+//! * **Calendar** (default): a calendar/bucket queue — a power-of-two ring
+//!   of FIFO buckets keyed on millisecond timestamps, a hierarchical
+//!   occupancy bitmap for O(1) next-event search, and a `BTreeMap` overflow
+//!   for events beyond the ring horizon. Scheduling and popping are O(1)
+//!   amortized, vs the binary heap's O(log n) sift with scattered memory
+//!   traffic.
+//! * **Heap**: the original `BinaryHeap` future-event list, kept as the
+//!   reference implementation for the property tests and for runtime A/B
+//!   timing (`repro perf`).
+//!
+//! Select with `SOC_SIM_QUEUE=heap|calendar` (read per queue construction,
+//! so one process can time both) or explicitly via
+//! [`EventQueue::with_backend`]. Both backends deliver the exact same event
+//! order: earliest timestamp first, FIFO among events scheduled for the
+//! same instant.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 /// Simulation time in milliseconds (matches `soc_types::SimMillis`).
 pub type Time = u64;
+
+/// Which future-event-list implementation an [`EventQueue`] uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueueBackend {
+    /// Calendar/bucket queue (default; O(1) schedule/pop).
+    Calendar,
+    /// Binary heap (reference implementation).
+    Heap,
+}
+
+impl QueueBackend {
+    /// Backend selected by the `SOC_SIM_QUEUE` environment variable
+    /// (`heap` or `calendar`, case-insensitive); defaults to `Calendar`.
+    ///
+    /// Read on every call — deliberately uncached so a single process can
+    /// construct queues with different backends for A/B timing.
+    pub fn from_env() -> Self {
+        match std::env::var("SOC_SIM_QUEUE") {
+            Ok(v) if v.eq_ignore_ascii_case("heap") => QueueBackend::Heap,
+            _ => QueueBackend::Calendar,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Heap backend (the original implementation).
+// ---------------------------------------------------------------------------
 
 struct Entry<E> {
     time: Time,
@@ -32,16 +77,234 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Calendar backend.
+// ---------------------------------------------------------------------------
+
+/// Ring width in milliseconds. Control-plane latencies are 2–250 ms and
+/// task transfers a few seconds, so one window holds the vast majority of
+/// pending events; longer timers (protocol cycles, arrival gaps, task
+/// completions) wait in the overflow map and migrate window by window.
+const RING_MS: usize = 4096;
+/// `RING_MS / 64` occupancy words (one summary `u64` bit per word).
+const RING_WORDS: usize = RING_MS / 64;
+// The single-u64 `summary` can only cover 64 occupancy words; retuning
+// RING_MS past 4096 needs a deeper hierarchy, not just a bigger ring.
+const _: () = assert!(RING_WORDS <= 64 && RING_MS % 64 == 0);
+
+/// Calendar queue state. Invariants:
+///
+/// * every ring event's time `t` satisfies `base <= t < base + RING_MS`;
+/// * bucket `t % RING_MS` holds only events at exactly `t` (unique within
+///   the window), appended in `seq` order — so per-bucket FIFO is global
+///   same-instant FIFO;
+/// * every overflow key is `>= base + RING_MS`;
+/// * `occ`/`summary` bits mirror bucket non-emptiness exactly.
+struct Calendar<E> {
+    buckets: Vec<VecDeque<(u64, E)>>,
+    /// Occupancy bitmap: bit `i % 64` of word `i / 64` set iff bucket `i`
+    /// is non-empty.
+    occ: [u64; RING_WORDS],
+    /// Summary bitmap: bit `w` set iff `occ[w] != 0`.
+    summary: u64,
+    /// Start of the current ring window.
+    base: Time,
+    /// Events currently in the ring.
+    ring_len: usize,
+    /// Far-future events, FIFO per timestamp.
+    overflow: BTreeMap<Time, VecDeque<(u64, E)>>,
+    overflow_len: usize,
+}
+
+impl<E> Calendar<E> {
+    fn new() -> Self {
+        Calendar {
+            buckets: (0..RING_MS).map(|_| VecDeque::new()).collect(),
+            occ: [0; RING_WORDS],
+            summary: 0,
+            base: 0,
+            ring_len: 0,
+            overflow: BTreeMap::new(),
+            overflow_len: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.ring_len + self.overflow_len
+    }
+
+    #[inline]
+    fn mark(&mut self, idx: usize) {
+        self.occ[idx / 64] |= 1 << (idx % 64);
+        self.summary |= 1 << (idx / 64);
+    }
+
+    #[inline]
+    fn unmark(&mut self, idx: usize) {
+        self.occ[idx / 64] &= !(1 << (idx % 64));
+        if self.occ[idx / 64] == 0 {
+            self.summary &= !(1 << (idx / 64));
+        }
+    }
+
+    /// First occupied bucket at ring distance `>= 0` from position `from`,
+    /// searching forward with wraparound. Returns `(index, distance)`.
+    fn next_occupied(&self, from: usize) -> Option<(usize, usize)> {
+        if self.ring_len == 0 {
+            return None;
+        }
+        let (w0, b0) = (from / 64, from % 64);
+        // 1) Tail of the starting word (bits at or after `from`).
+        let tail = self.occ[w0] & (!0u64 << b0);
+        if tail != 0 {
+            let idx = w0 * 64 + tail.trailing_zeros() as usize;
+            return Some((idx, idx - from));
+        }
+        // 2) Words strictly after the starting word.
+        let above = if w0 + 1 < RING_WORDS {
+            self.summary & (!0u64 << (w0 + 1))
+        } else {
+            0
+        };
+        if above != 0 {
+            let w = above.trailing_zeros() as usize;
+            let idx = w * 64 + self.occ[w].trailing_zeros() as usize;
+            return Some((idx, idx - from));
+        }
+        // 3) Wraparound: words up to and including the starting word. Any
+        // hit in word `w0` is at a bit below `b0` (the tail was empty), so
+        // the wrapped distance is always positive.
+        let low_mask = if w0 + 1 >= 64 {
+            !0u64
+        } else {
+            (1u64 << (w0 + 1)) - 1
+        };
+        let wrapped = self.summary & low_mask;
+        if wrapped != 0 {
+            let w = wrapped.trailing_zeros() as usize;
+            let idx = w * 64 + self.occ[w].trailing_zeros() as usize;
+            return Some((idx, RING_MS - from + idx));
+        }
+        None
+    }
+
+    /// Earliest pending timestamp, given the queue clock `now`.
+    fn min_time(&self, now: Time) -> Option<Time> {
+        if self.ring_len > 0 {
+            let start = self.base.max(now);
+            let from = (start % RING_MS as u64) as usize;
+            let (_, dist) = self
+                .next_occupied(from)
+                .expect("ring_len > 0 implies an occupied bucket");
+            Some(start + dist as Time)
+        } else {
+            self.overflow.keys().next().copied()
+        }
+    }
+
+    fn schedule(&mut self, time: Time, seq: u64, event: E, now: Time) {
+        if self.len() == 0 {
+            // Empty queue: re-anchor the window at the clock so nearby
+            // events use the ring even after long `pop_until` jumps. (Not
+            // at `time`: a later insert may still be earlier than it.)
+            self.base = now;
+        }
+        if time >= self.base && time < self.base + RING_MS as u64 {
+            let idx = (time % RING_MS as u64) as usize;
+            self.buckets[idx].push_back((seq, event));
+            self.mark(idx);
+            self.ring_len += 1;
+        } else {
+            debug_assert!(time >= self.base + RING_MS as u64, "event before window");
+            self.overflow
+                .entry(time)
+                .or_default()
+                .push_back((seq, event));
+            self.overflow_len += 1;
+        }
+    }
+
+    /// Move the window forward onto the earliest overflow key and migrate
+    /// every overflow event that now fits the ring.
+    fn advance_window(&mut self) {
+        debug_assert_eq!(self.ring_len, 0);
+        let Some((&first, _)) = self.overflow.iter().next() else {
+            return;
+        };
+        self.base = first;
+        let horizon = first + RING_MS as u64;
+        while let Some((&t, _)) = self.overflow.iter().next() {
+            if t >= horizon {
+                break;
+            }
+            let (t, mut fifo) = self.overflow.pop_first().expect("peeked entry");
+            let idx = (t % RING_MS as u64) as usize;
+            self.overflow_len -= fifo.len();
+            self.ring_len += fifo.len();
+            debug_assert!(self.buckets[idx].is_empty(), "bucket collision");
+            if self.buckets[idx].capacity() >= fifo.len() {
+                self.buckets[idx].append(&mut fifo);
+            } else {
+                self.buckets[idx] = fifo;
+            }
+            self.mark(idx);
+        }
+    }
+
+    fn pop(&mut self, now: Time) -> Option<(Time, u64, E)> {
+        if self.ring_len == 0 {
+            if self.overflow_len == 0 {
+                return None;
+            }
+            self.advance_window();
+        }
+        let t = self.min_time(now).expect("non-empty queue");
+        let idx = (t % RING_MS as u64) as usize;
+        let (seq, event) = self.buckets[idx].pop_front().expect("occupied bucket");
+        self.ring_len -= 1;
+        if self.buckets[idx].is_empty() {
+            self.unmark(idx);
+        }
+        Some((t, seq, event))
+    }
+
+    fn clear(&mut self, now: Time) {
+        if self.ring_len > 0 {
+            for w in 0..RING_WORDS {
+                let mut bits = self.occ[w];
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    self.buckets[w * 64 + b].clear();
+                }
+                self.occ[w] = 0;
+            }
+            self.summary = 0;
+            self.ring_len = 0;
+        }
+        self.overflow.clear();
+        self.overflow_len = 0;
+        self.base = now;
+    }
+}
+
+enum Core<E> {
+    // Boxed: the ring bitmap makes the calendar state much larger than a
+    // heap header (clippy::large_enum_variant).
+    Calendar(Box<Calendar<E>>),
+    Heap(BinaryHeap<Entry<E>>),
+}
+
 /// A deterministic future-event list.
 ///
 /// Events scheduled for the same instant are delivered in scheduling order
-/// (FIFO), which makes simulation runs bit-reproducible regardless of heap
+/// (FIFO), which makes simulation runs bit-reproducible regardless of queue
 /// internals.
 ///
 /// Popping advances the clock: [`EventQueue::now`] is the timestamp of the
 /// most recently popped event.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    core: Core<E>,
     now: Time,
     seq: u64,
     scheduled_total: u64,
@@ -54,23 +317,41 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// An empty queue at time 0.
+    /// An empty queue at time 0, using the backend selected by
+    /// [`QueueBackend::from_env`].
     pub fn new() -> Self {
+        Self::with_backend(QueueBackend::from_env())
+    }
+
+    /// An empty queue at time 0 on an explicit backend.
+    pub fn with_backend(backend: QueueBackend) -> Self {
+        let core = match backend {
+            QueueBackend::Calendar => Core::Calendar(Box::new(Calendar::new())),
+            QueueBackend::Heap => Core::Heap(BinaryHeap::new()),
+        };
         EventQueue {
-            heap: BinaryHeap::new(),
+            core,
             now: 0,
             seq: 0,
             scheduled_total: 0,
         }
     }
 
-    /// An empty queue with pre-allocated capacity.
+    /// An empty queue with pre-allocated capacity (advisory; the calendar
+    /// backend's ring is fixed-size and ignores it).
     pub fn with_capacity(cap: usize) -> Self {
-        EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
-            now: 0,
-            seq: 0,
-            scheduled_total: 0,
+        let mut q = Self::new();
+        if let Core::Heap(h) = &mut q.core {
+            h.reserve(cap);
+        }
+        q
+    }
+
+    /// The backend this queue runs on.
+    pub fn backend(&self) -> QueueBackend {
+        match self.core {
+            Core::Calendar(_) => QueueBackend::Calendar,
+            Core::Heap(_) => QueueBackend::Heap,
         }
     }
 
@@ -83,13 +364,16 @@ impl<E> EventQueue<E> {
     /// Number of pending events.
     #[inline]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.core {
+            Core::Calendar(c) => c.len(),
+            Core::Heap(h) => h.len(),
+        }
     }
 
     /// True when no events are pending.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Total number of events ever scheduled (diagnostics).
@@ -107,7 +391,10 @@ impl<E> EventQueue<E> {
         let seq = self.seq;
         self.seq += 1;
         self.scheduled_total += 1;
-        self.heap.push(Entry { time, seq, event });
+        match &mut self.core {
+            Core::Calendar(c) => c.schedule(time, seq, event, self.now),
+            Core::Heap(h) => h.push(Entry { time, seq, event }),
+        }
     }
 
     /// Schedule `event` `delay` milliseconds from now.
@@ -119,15 +406,27 @@ impl<E> EventQueue<E> {
     /// Timestamp of the next pending event, if any.
     #[inline]
     pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|e| e.time)
+        match &self.core {
+            Core::Calendar(c) => c.min_time(self.now),
+            Core::Heap(h) => h.peek().map(|e| e.time),
+        }
     }
 
     /// Pop the earliest event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(Time, E)> {
-        let e = self.heap.pop()?;
-        debug_assert!(e.time >= self.now, "clock went backwards");
-        self.now = e.time;
-        Some((e.time, e.event))
+        let (time, event) = match &mut self.core {
+            Core::Calendar(c) => {
+                let (time, _, event) = c.pop(self.now)?;
+                (time, event)
+            }
+            Core::Heap(h) => {
+                let e = h.pop()?;
+                (e.time, e.event)
+            }
+        };
+        debug_assert!(time >= self.now, "clock went backwards");
+        self.now = time;
+        Some((time, event))
     }
 
     /// Pop the earliest event only if it fires at or before `deadline`.
@@ -149,7 +448,10 @@ impl<E> EventQueue<E> {
 
     /// Drop all pending events (used between scenario repetitions).
     pub fn clear(&mut self) {
-        self.heap.clear();
+        match &mut self.core {
+            Core::Calendar(c) => c.clear(self.now),
+            Core::Heap(h) => h.clear(),
+        }
     }
 }
 
@@ -157,80 +459,186 @@ impl<E> EventQueue<E> {
 mod tests {
     use super::*;
 
+    fn backends() -> [QueueBackend; 2] {
+        [QueueBackend::Calendar, QueueBackend::Heap]
+    }
+
     #[test]
     fn orders_by_time() {
-        let mut q = EventQueue::new();
-        q.schedule_at(30, "c");
-        q.schedule_at(10, "a");
-        q.schedule_at(20, "b");
-        assert_eq!(q.pop(), Some((10, "a")));
-        assert_eq!(q.pop(), Some((20, "b")));
-        assert_eq!(q.pop(), Some((30, "c")));
-        assert_eq!(q.pop(), None);
-        assert_eq!(q.now(), 30);
+        for b in backends() {
+            let mut q = EventQueue::with_backend(b);
+            q.schedule_at(30, "c");
+            q.schedule_at(10, "a");
+            q.schedule_at(20, "b");
+            assert_eq!(q.pop(), Some((10, "a")));
+            assert_eq!(q.pop(), Some((20, "b")));
+            assert_eq!(q.pop(), Some((30, "c")));
+            assert_eq!(q.pop(), None);
+            assert_eq!(q.now(), 30);
+        }
     }
 
     #[test]
     fn simultaneous_events_are_fifo() {
-        let mut q = EventQueue::new();
-        for i in 0..100 {
-            q.schedule_at(5, i);
-        }
-        for i in 0..100 {
-            assert_eq!(q.pop(), Some((5, i)));
+        for b in backends() {
+            let mut q = EventQueue::with_backend(b);
+            for i in 0..100 {
+                q.schedule_at(5, i);
+            }
+            for i in 0..100 {
+                assert_eq!(q.pop(), Some((5, i)));
+            }
         }
     }
 
     #[test]
     fn schedule_in_is_relative_to_now() {
-        let mut q = EventQueue::new();
-        q.schedule_in(10, "x");
-        assert_eq!(q.pop(), Some((10, "x")));
-        q.schedule_in(5, "y");
-        assert_eq!(q.pop(), Some((15, "y")));
+        for b in backends() {
+            let mut q = EventQueue::with_backend(b);
+            q.schedule_in(10, "x");
+            assert_eq!(q.pop(), Some((10, "x")));
+            q.schedule_in(5, "y");
+            assert_eq!(q.pop(), Some((15, "y")));
+        }
     }
 
     #[test]
     fn past_scheduling_clamps_to_now() {
-        let mut q = EventQueue::new();
-        q.schedule_at(100, "later");
-        assert_eq!(q.pop(), Some((100, "later")));
-        q.schedule_at(50, "past");
-        assert_eq!(q.pop(), Some((100, "past")));
+        for b in backends() {
+            let mut q = EventQueue::with_backend(b);
+            q.schedule_at(100, "later");
+            assert_eq!(q.pop(), Some((100, "later")));
+            q.schedule_at(50, "past");
+            assert_eq!(q.pop(), Some((100, "past")));
+        }
     }
 
     #[test]
     fn pop_until_respects_deadline() {
-        let mut q = EventQueue::new();
-        q.schedule_at(10, 1);
-        q.schedule_at(200, 2);
-        assert_eq!(q.pop_until(100), Some((10, 1)));
-        assert_eq!(q.pop_until(100), None);
-        assert_eq!(q.now(), 100); // clock advanced to the deadline
-        assert_eq!(q.len(), 1); // the 200-event is still pending
-        assert_eq!(q.pop_until(300), Some((200, 2)));
+        for b in backends() {
+            let mut q = EventQueue::with_backend(b);
+            q.schedule_at(10, 1);
+            q.schedule_at(200, 2);
+            assert_eq!(q.pop_until(100), Some((10, 1)));
+            assert_eq!(q.pop_until(100), None);
+            assert_eq!(q.now(), 100); // clock advanced to the deadline
+            assert_eq!(q.len(), 1); // the 200-event is still pending
+            assert_eq!(q.pop_until(300), Some((200, 2)));
+        }
     }
 
     #[test]
     fn counters_and_clear() {
-        let mut q = EventQueue::new();
-        q.schedule_at(1, ());
-        q.schedule_at(2, ());
-        assert_eq!(q.scheduled_total(), 2);
-        assert_eq!(q.len(), 2);
-        q.clear();
-        assert!(q.is_empty());
-        assert_eq!(q.scheduled_total(), 2);
+        for b in backends() {
+            let mut q = EventQueue::with_backend(b);
+            q.schedule_at(1, ());
+            q.schedule_at(2, ());
+            assert_eq!(q.scheduled_total(), 2);
+            assert_eq!(q.len(), 2);
+            q.clear();
+            assert!(q.is_empty());
+            assert_eq!(q.scheduled_total(), 2);
+        }
     }
 
     #[test]
     fn interleaved_schedule_pop_preserves_order() {
-        let mut q = EventQueue::new();
+        for b in backends() {
+            let mut q = EventQueue::with_backend(b);
+            q.schedule_at(10, "a");
+            q.schedule_at(30, "c");
+            assert_eq!(q.pop(), Some((10, "a")));
+            q.schedule_in(10, "b"); // at 20
+            assert_eq!(q.pop(), Some((20, "b")));
+            assert_eq!(q.pop(), Some((30, "c")));
+        }
+    }
+
+    #[test]
+    fn far_future_events_round_trip_the_overflow() {
+        let mut q = EventQueue::with_backend(QueueBackend::Calendar);
+        // Beyond one ring window (4096 ms) and beyond several windows.
+        q.schedule_at(5_000, "near-overflow");
+        q.schedule_at(10_000_000, "far");
+        q.schedule_at(3, "ring");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek_time(), Some(3));
+        assert_eq!(q.pop(), Some((3, "ring")));
+        assert_eq!(q.pop(), Some((5_000, "near-overflow")));
+        assert_eq!(q.pop(), Some((10_000_000, "far")));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.now(), 10_000_000);
+    }
+
+    #[test]
+    fn overflow_same_timestamp_is_fifo() {
+        let mut q = EventQueue::with_backend(QueueBackend::Calendar);
+        for i in 0..50 {
+            q.schedule_at(1_000_000, i);
+        }
+        for i in 0..50 {
+            assert_eq!(q.pop(), Some((1_000_000, i)));
+        }
+    }
+
+    #[test]
+    fn window_rebases_after_long_idle_jump() {
+        let mut q = EventQueue::with_backend(QueueBackend::Calendar);
         q.schedule_at(10, "a");
-        q.schedule_at(30, "c");
         assert_eq!(q.pop(), Some((10, "a")));
-        q.schedule_in(10, "b"); // at 20
-        assert_eq!(q.pop(), Some((20, "b")));
-        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop_until(50_000_000), None);
+        assert_eq!(q.now(), 50_000_000);
+        // New events near the far-ahead clock should still order correctly.
+        q.schedule_in(7, "b");
+        q.schedule_in(3, "c");
+        q.schedule_in(3, "d");
+        assert_eq!(q.pop(), Some((50_000_003, "c")));
+        assert_eq!(q.pop(), Some((50_000_003, "d")));
+        assert_eq!(q.pop(), Some((50_000_007, "b")));
+    }
+
+    #[test]
+    fn schedule_during_pop_at_same_instant_stays_fifo() {
+        let mut q = EventQueue::with_backend(QueueBackend::Calendar);
+        q.schedule_at(40, "x");
+        assert_eq!(q.pop(), Some((40, "x")));
+        // Handler schedules at the current instant: fires next, after
+        // anything already queued at 40.
+        q.schedule_at(40, "y");
+        q.schedule_at(40, "z");
+        assert_eq!(q.pop(), Some((40, "y")));
+        assert_eq!(q.pop(), Some((40, "z")));
+    }
+
+    #[test]
+    fn backend_selection_from_env_defaults_to_calendar() {
+        // Not exercising the env var itself (process-global); just the
+        // default and the explicit constructors.
+        assert_eq!(
+            EventQueue::<()>::with_backend(QueueBackend::Calendar).backend(),
+            QueueBackend::Calendar
+        );
+        assert_eq!(
+            EventQueue::<()>::with_backend(QueueBackend::Heap).backend(),
+            QueueBackend::Heap
+        );
+    }
+
+    #[test]
+    fn dense_wraparound_traffic_keeps_order() {
+        // Push/pop across several ring wraps with interleaving.
+        let mut q = EventQueue::with_backend(QueueBackend::Calendar);
+        let mut expect = Vec::new();
+        let mut t = 0u64;
+        for i in 0..10_000u64 {
+            t += (i * 7919) % 13; // 0..12 ms steps, many collisions
+            q.schedule_at(t, i);
+            expect.push((t, i));
+        }
+        expect.sort_by_key(|&(t, i)| (t, i)); // seq order == i order
+        for e in expect {
+            assert_eq!(q.pop(), Some(e));
+        }
+        assert!(q.is_empty());
     }
 }

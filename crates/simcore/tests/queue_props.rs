@@ -1,0 +1,160 @@
+//! Property test: the calendar-queue backend is observationally identical
+//! to the binary-heap reference model on random schedules — same pop order,
+//! same timestamps, same `now()`/`len()` at every step — including
+//! same-timestamp FIFO bursts and far-future overflow entries.
+//!
+//! Runs 256 cases minimum (`PROPTEST_CASES` can only raise it), per the
+//! acceptance bar for the queue rewrite.
+
+use proptest::prelude::*;
+use soc_simcore::{EventQueue, QueueBackend};
+
+/// One scripted queue operation. Decoded from a generated tuple so the
+/// vendored proptest's tuple-free strategies suffice.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// Schedule `burst` events `delay` ms from now (same-instant FIFO).
+    ScheduleIn { delay: u64, burst: usize },
+    /// Schedule at an absolute time that may lie in the past (clamping) or
+    /// far beyond the calendar ring (overflow).
+    ScheduleAt { at: u64 },
+    /// Pop one event.
+    Pop,
+    /// Pop bounded by a deadline `ahead` ms past the current clock.
+    PopUntil { ahead: u64 },
+}
+
+fn decode(kind: u8, a: u64, burst: usize) -> Op {
+    match kind {
+        // Short-range delays: dense ring traffic with many ties.
+        0 => Op::ScheduleIn {
+            delay: a % 50,
+            burst: 1 + burst,
+        },
+        // Mid-range delays: spans several ring windows.
+        1 => Op::ScheduleIn {
+            delay: a % 20_000,
+            burst: 1,
+        },
+        // Far-future: deep into the overflow map (hours of sim time).
+        2 => Op::ScheduleAt {
+            at: 1_000_000 + a % 50_000_000,
+        },
+        // Possibly-past absolute times exercise the clamp-to-now path.
+        3 => Op::ScheduleAt { at: a % 5_000 },
+        4 => Op::Pop,
+        _ => Op::PopUntil { ahead: a % 10_000 },
+    }
+}
+
+/// Run the same op script against both backends, asserting lockstep
+/// equality of every observable.
+fn run_script(ops: &[(u8, u64, usize)]) -> Result<(), String> {
+    let mut cal: EventQueue<u64> = EventQueue::with_backend(QueueBackend::Calendar);
+    let mut heap: EventQueue<u64> = EventQueue::with_backend(QueueBackend::Heap);
+    let mut payload = 0u64;
+    for &(kind, a, burst) in ops {
+        match decode(kind, a, burst) {
+            Op::ScheduleIn { delay, burst } => {
+                for _ in 0..burst {
+                    cal.schedule_in(delay, payload);
+                    heap.schedule_in(delay, payload);
+                    payload += 1;
+                }
+            }
+            Op::ScheduleAt { at } => {
+                cal.schedule_at(at, payload);
+                heap.schedule_at(at, payload);
+                payload += 1;
+            }
+            Op::Pop => {
+                let (c, h) = (cal.pop(), heap.pop());
+                prop_assert_eq!(c, h, "pop mismatch");
+            }
+            Op::PopUntil { ahead } => {
+                let deadline = cal.now() + ahead;
+                let (c, h) = (cal.pop_until(deadline), heap.pop_until(deadline));
+                prop_assert_eq!(c, h, "pop_until({deadline}) mismatch");
+            }
+        }
+        prop_assert_eq!(cal.now(), heap.now(), "clock diverged");
+        prop_assert_eq!(cal.len(), heap.len(), "len diverged");
+        prop_assert_eq!(cal.peek_time(), heap.peek_time(), "peek diverged");
+        prop_assert_eq!(
+            cal.scheduled_total(),
+            heap.scheduled_total(),
+            "scheduled_total diverged"
+        );
+    }
+    // Drain both to the end: the full residual order must agree too.
+    loop {
+        let (c, h) = (cal.pop(), heap.pop());
+        prop_assert_eq!(c, h, "drain mismatch");
+        prop_assert_eq!(cal.now(), heap.now(), "drain clock diverged");
+        if c.is_none() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// At least 256 cases (the acceptance bar); `PROPTEST_CASES` may raise it.
+fn cases() -> ProptestConfig {
+    let env = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    ProptestConfig::with_cases(256u32.max(env))
+}
+
+proptest! {
+    #![proptest_config(cases())]
+
+    #[test]
+    fn calendar_matches_heap_model(
+        kinds in prop::collection::vec(0u8..6, 1..120),
+        args in prop::collection::vec(0u64..u64::MAX / 2, 120),
+        bursts in prop::collection::vec(0usize..8, 120),
+    ) {
+        let ops: Vec<(u8, u64, usize)> = kinds
+            .iter()
+            .zip(&args)
+            .zip(&bursts)
+            .map(|((&k, &a), &b)| (k, a, b))
+            .collect();
+        run_script(&ops)?;
+    }
+
+    #[test]
+    fn same_timestamp_bursts_stay_fifo(
+        t in 0u64..10_000,
+        n in 1usize..200,
+    ) {
+        let mut cal: EventQueue<usize> = EventQueue::with_backend(QueueBackend::Calendar);
+        for i in 0..n {
+            cal.schedule_at(t, i);
+        }
+        for i in 0..n {
+            prop_assert_eq!(cal.pop(), Some((t, i)));
+        }
+        prop_assert_eq!(cal.pop(), None);
+    }
+
+    #[test]
+    fn overflow_entries_migrate_in_order(
+        offsets in prop::collection::vec(0u64..100_000_000, 1..60),
+    ) {
+        let mut cal: EventQueue<usize> = EventQueue::with_backend(QueueBackend::Calendar);
+        let mut expect: Vec<(u64, usize)> =
+            offsets.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        for &(t, i) in &expect {
+            cal.schedule_at(t, i);
+        }
+        // Stable by (time, insertion order) — the FIFO guarantee.
+        expect.sort_by_key(|&(t, i)| (t, i));
+        for e in expect {
+            prop_assert_eq!(cal.pop(), Some(e));
+        }
+        prop_assert_eq!(cal.pop(), None);
+    }
+}

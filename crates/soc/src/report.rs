@@ -95,6 +95,63 @@ impl RunReport {
         out
     }
 
+    /// Bit-exact canonical encoding of every *deterministic* field — all of
+    /// them except `wall_ms` (wall-clock diagnostics). Floats are encoded
+    /// as raw IEEE-754 bits, so two reports fingerprint equal iff the runs
+    /// were bitwise identical. Used by the parallel-sweep equivalence test
+    /// and the `repro perf` cross-backend determinism check.
+    pub fn fingerprint(&self) -> String {
+        use std::fmt::Write;
+        fn f(out: &mut String, v: f64) {
+            let _ = write!(out, "{:016x};", v.to_bits());
+        }
+        let mut out = String::with_capacity(512);
+        let _ = write!(out, "{}|{}|", self.label, self.scenario);
+        let _ = write!(
+            out,
+            "g{};f{};x{};k{};r{};c{};lg{};lf{};m{};|",
+            self.generated,
+            self.finished,
+            self.failed,
+            self.killed,
+            self.rejected,
+            self.checkpoint_resubmits,
+            self.local_generated,
+            self.local_finished,
+            self.msg_total,
+        );
+        let _ = write!(
+            out,
+            "om{:?};or{:?};|",
+            self.oracle_matchable, self.oracle_record_matchable
+        );
+        if let Some(v) = self.oracle_mean_matching {
+            f(&mut out, v);
+        }
+        f(&mut out, self.t_ratio);
+        f(&mut out, self.f_ratio);
+        f(&mut out, self.fairness);
+        f(&mut out, self.mean_efficiency);
+        f(&mut out, self.msg_per_node);
+        out.push('|');
+        for p in &self.series {
+            let _ = write!(
+                out,
+                "t{};g{};f{};x{};k{};",
+                p.t_ms, p.generated, p.finished, p.failed, p.killed
+            );
+            f(&mut out, p.t_ratio);
+            f(&mut out, p.f_ratio);
+            f(&mut out, p.fairness);
+        }
+        out.push('|');
+        for (label, count) in &self.msg_breakdown {
+            let _ = write!(out, "{label}={count};");
+        }
+        let _ = write!(out, "|{}", self.diag);
+        out
+    }
+
     /// Count for one message kind, 0 when absent.
     pub fn msg_count(&self, kind: MsgKind) -> u64 {
         self.msg_breakdown
@@ -155,5 +212,19 @@ mod tests {
     #[test]
     fn series_rows_header() {
         assert!(fake().series_rows().starts_with("hour\t"));
+    }
+
+    #[test]
+    fn fingerprint_ignores_wall_clock_only() {
+        let a = fake();
+        let mut b = fake();
+        b.wall_ms = a.wall_ms + 12345;
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let mut c = fake();
+        c.finished += 1;
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let mut d = fake();
+        d.t_ratio += 1e-15; // even sub-print-precision drift must show
+        assert_ne!(a.fingerprint(), d.fingerprint());
     }
 }

@@ -100,6 +100,10 @@ struct Sim<'s, P: DiscoveryOverlay> {
     tracker: TaskTracker,
     queue: EventQueue<Ev<P::Msg>>,
     pending: HashMap<QueryId, PendingQuery>,
+    /// Recycled effect buffers: one `Ctx` is built per delivered event, so
+    /// handing the drained Vec back avoids an allocation per event.
+    fx_buf: Vec<Effect<P::Msg>>,
+    fx_next: Vec<Effect<P::Msg>>,
     expected_s: Vec<f64>,
     is_local: Vec<bool>,
     checkpoint_resubmits: u64,
@@ -180,6 +184,8 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
             tracker: TaskTracker::new(),
             queue: EventQueue::with_capacity(1 << 16),
             pending: HashMap::new(),
+            fx_buf: Vec::new(),
+            fx_next: Vec::new(),
             expected_s: Vec::new(),
             is_local: Vec::new(),
             checkpoint_resubmits: 0,
@@ -227,24 +233,26 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
     where
         F: FnOnce(&mut P, &mut Ctx<'_, P::Msg>),
     {
-        let mut ctx = Ctx::new(
+        let buf = std::mem::take(&mut self.fx_buf);
+        let mut ctx = Ctx::new_in(
             self.queue.now(),
             &self.can,
             &self.hosts,
             &mut self.rng_proto,
+            buf,
         );
         f(&mut self.proto, &mut ctx);
         let fx = ctx.into_effects();
-        self.apply_effects(fx);
+        self.fx_buf = self.apply_effects(fx);
     }
 
-    fn apply_effects(&mut self, fx: Vec<Effect<P::Msg>>) {
-        let mut work = fx;
+    /// Apply queued effects; returns the drained buffer for reuse.
+    fn apply_effects(&mut self, mut work: Vec<Effect<P::Msg>>) -> Vec<Effect<P::Msg>> {
         // Iterate: drops may generate follow-up effects (hop budgets bound
         // the chain).
         while !work.is_empty() {
-            let mut next: Vec<Effect<P::Msg>> = Vec::new();
-            for f in work {
+            let mut next = std::mem::take(&mut self.fx_next);
+            for f in work.drain(..) {
                 match f {
                     Effect::Send {
                         from,
@@ -284,8 +292,12 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
                     }
                 }
             }
-            work = next;
+            // `work` is drained; swap so follow-ups (if any) run next and
+            // the empty buffer is parked for the next round.
+            std::mem::swap(&mut work, &mut next);
+            self.fx_next = next;
         }
+        work
     }
 
     fn on_query_results(&mut self, qid: QueryId, candidates: Vec<Candidate>) {

@@ -1,0 +1,75 @@
+//! Fig. 8 / checkpointing qualitative claim, promoted from the
+//! `benches/figures.rs` shape asserts into a real integration test:
+//! checkpoint-based fault tolerance (§VI future work) must *recover* tasks
+//! that churn would otherwise kill — strictly fewer kills, resubmissions
+//! actually happening, and no conservation violation — across the Fig. 8
+//! churn degrees at smoke scale.
+//!
+//! `#[ignore]`d by default (smoke scale is minutes in a debug build); CI's
+//! nightly cron runs it in release:
+//! `cargo test --release -p soc-sim --test checkpointing -- --ignored`.
+
+use soc_sim::{ProtocolChoice, Scenario};
+
+fn smoke(churn: f64, checkpointing: bool, seed: u64) -> soc_sim::RunReport {
+    let mut sc = Scenario::paper(ProtocolChoice::Hid)
+        .nodes(300)
+        .hours(6)
+        .lambda(0.5)
+        .churn(churn)
+        .seed(seed);
+    sc.mean_arrival_s = 1200.0;
+    sc.mean_duration_s = 1200.0;
+    sc.checkpointing = checkpointing;
+    sc.run()
+}
+
+#[test]
+#[ignore = "smoke scale: run in release via CI cron or manually"]
+fn checkpointing_recovers_killed_tasks_across_churn_degrees() {
+    for churn in [0.25, 0.5, 0.75, 0.95] {
+        let plain = smoke(churn, false, 1);
+        let ckpt = smoke(churn, true, 1);
+
+        assert_eq!(
+            plain.checkpoint_resubmits, 0,
+            "churn {churn}: plain run must not resubmit"
+        );
+        assert!(
+            ckpt.checkpoint_resubmits > 0,
+            "churn {churn}: no resubmissions recorded"
+        );
+        assert!(
+            ckpt.killed < plain.killed.max(1),
+            "churn {churn}: checkpointing did not reduce kills ({} vs {})",
+            ckpt.killed,
+            plain.killed
+        );
+        // Recovered work must not be invented: conservation holds.
+        for r in [&plain, &ckpt] {
+            assert!(
+                r.finished + r.failed + r.killed + r.rejected <= r.generated,
+                "churn {churn}: conservation violated ({})",
+                r.summary()
+            );
+        }
+        // Recovery should help, never hurt, throughput.
+        assert!(
+            ckpt.t_ratio >= plain.t_ratio * 0.95,
+            "churn {churn}: checkpointing collapsed T-Ratio ({} vs {})",
+            ckpt.t_ratio,
+            plain.t_ratio
+        );
+    }
+}
+
+#[test]
+#[ignore = "smoke scale: run in release via CI cron or manually"]
+fn checkpointing_is_a_no_op_without_churn() {
+    let plain = smoke(0.0, false, 2);
+    let ckpt = smoke(0.0, true, 2);
+    assert_eq!(plain.checkpoint_resubmits, 0);
+    assert_eq!(ckpt.checkpoint_resubmits, 0, "no churn, nothing to recover");
+    // Identical runs: checkpointing only activates on churn kills.
+    assert_eq!(plain.fingerprint(), ckpt.fingerprint());
+}
