@@ -1,4 +1,5 @@
-//! `repro` — regenerate every table and figure of the paper.
+//! `repro` — regenerate every table and figure of the paper, and run
+//! declarative scenarios beyond it.
 //!
 //! ```text
 //! repro fig4              # Fig. 4(a)(b): SID vs Newscast vs KHDN, λ=0.84/0.25
@@ -8,38 +9,57 @@
 //! repro all               # everything above
 //! repro perf              # serial/parallel x heap/calendar timing grid
 //!                         #   (writes BENCH_PR2.json, see --out)
-//! repro diag              # λ=0.5 rejection split, ground-truth oracle on
+//! repro diag              # λ=0.5 rejection split (oracle on), baseline vs
+//!                         #   search-corner jitter (--jitter)
+//! repro scenario FILE     # run a scenario file (see scenarios/ gallery);
+//!                         #   --record PATH dumps the realized trace
+//! repro replay TRACE      # replay a recorded trace bit-exactly and
+//!                         #   verify its fingerprint
 //! ```
 //!
 //! Options: `--scale full|smoke|bench` (default smoke), `--seed N`
-//! (default 1), `--out PATH` (perf JSON, default `BENCH_PR2.json`).
-//! Full scale reproduces §IV-A exactly (2000–12000 nodes, 24 simulated
-//! hours) and takes minutes per figure; smoke preserves the shapes in
-//! seconds.
+//! (default 1; scenario files keep their own seed unless overridden),
+//! `--json PATH` (dump every report of the command as JSON),
+//! `--out PATH` (perf JSON, default `BENCH_PR2.json`), `--jitter J`
+//! (diag comparison point, default 0.15). Full scale reproduces §IV-A
+//! exactly (2000–12000 nodes, 24 simulated hours) and takes minutes per
+//! figure; smoke preserves the shapes in seconds.
 
 use soc_bench::{
-    diag_lambda05, fig4, fig5, fig8, fig8_checkpointing, perf, print_diag, print_fig8,
-    print_series, print_table3, table3, Scale,
+    diag_lambda05, diag_lambda05_with, fig4, fig5, fig8, fig8_checkpointing, perf, print_diag,
+    print_diag_compare, print_fig8, print_series, print_table3, reports_json, table3, Scale,
 };
+use soc_scenario::{record_run, replay_run, ScenarioSpec, Trace};
+use soc_sim::RunReport;
 
 struct Args {
     cmd: String,
+    file: Option<String>,
     scale: Scale,
     scale_label: &'static str,
-    seed: u64,
+    scale_given: bool,
+    seed: Option<u64>,
     lambda: f64,
     out: String,
+    json: Option<String>,
+    record: Option<String>,
+    jitter: f64,
     reps: usize,
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
         cmd: String::new(),
+        file: None,
         scale: Scale::smoke(),
         scale_label: "smoke",
-        seed: 1,
+        scale_given: false,
+        seed: None,
         lambda: 1.0,
         out: "BENCH_PR2.json".to_string(),
+        json: None,
+        record: None,
+        jitter: 0.15,
         reps: 2,
     };
     let mut it = std::env::args().skip(1);
@@ -47,6 +67,7 @@ fn parse_args() -> Args {
         match a.as_str() {
             "--scale" => {
                 let v = it.next().unwrap_or_default();
+                args.scale_given = true;
                 (args.scale, args.scale_label) = match v.as_str() {
                     "full" => (Scale::full(), "full"),
                     "smoke" => (Scale::smoke(), "smoke"),
@@ -63,6 +84,18 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 });
             }
+            "--json" => {
+                args.json = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--json needs a path");
+                    std::process::exit(2);
+                }));
+            }
+            "--record" => {
+                args.record = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--record needs a path");
+                    std::process::exit(2);
+                }));
+            }
             "--reps" => {
                 args.reps = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                     eprintln!("--reps needs an integer");
@@ -70,10 +103,10 @@ fn parse_args() -> Args {
                 });
             }
             "--seed" => {
-                args.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                args.seed = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                     eprintln!("--seed needs an integer");
                     std::process::exit(2);
-                });
+                }));
             }
             "--lambda" => {
                 args.lambda = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
@@ -81,8 +114,17 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 });
             }
+            "--jitter" => {
+                args.jitter = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--jitter needs a number");
+                    std::process::exit(2);
+                });
+            }
             cmd if args.cmd.is_empty() && !cmd.starts_with('-') => {
                 args.cmd = cmd.to_string();
+            }
+            file if args.file.is_none() && !file.starts_with('-') => {
+                args.file = Some(file.to_string());
             }
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -93,25 +135,33 @@ fn parse_args() -> Args {
     if args.cmd.is_empty() {
         eprintln!(
             "usage: repro <fig4|fig5|fig8|table3|ckpt|perf|diag|all> \
-             [--scale full|smoke|bench] [--seed N] [--lambda L] [--out PATH] [--reps N]"
+             [--scale full|smoke|bench] [--seed N] [--lambda L] [--json PATH] \
+             [--out PATH] [--reps N] [--jitter J]\n\
+             \x20      repro scenario FILE [--seed N] [--record PATH] [--json PATH]\n\
+             \x20      repro replay TRACE [--json PATH]"
         );
         std::process::exit(2);
     }
     args
 }
 
-fn run_fig4(scale: Scale, seed: u64) {
+type Sections = Vec<(String, Vec<RunReport>)>;
+
+fn run_fig4(scale: Scale, seed: u64) -> Sections {
     println!("== Fig. 4: contrary results under different query ranges ==");
+    let mut sections = Sections::new();
     for (lambda, reports) in fig4(scale, seed) {
         println!("\n-- Fig. 4 (demand ratio = {lambda}) — Throughput Ratio --");
         println!("{}", print_series(&reports, "t"));
         for r in &reports {
             println!("# {}", r.summary());
         }
+        sections.push((format!("lambda={lambda}"), reports));
     }
+    sections
 }
 
-fn run_fig5(scale: Scale, lambda: f64, seed: u64) {
+fn run_fig5(scale: Scale, lambda: f64, seed: u64) -> Sections {
     let fig = match lambda {
         l if (l - 1.0).abs() < 1e-9 => "Fig. 5 (λ=1)",
         l if (l - 0.5).abs() < 1e-9 => "Fig. 6 (λ=0.5)",
@@ -129,9 +179,10 @@ fn run_fig5(scale: Scale, lambda: f64, seed: u64) {
     for r in &reports {
         println!("# {}", r.summary());
     }
+    vec![(format!("lambda={lambda}"), reports)]
 }
 
-fn run_fig8(scale: Scale, seed: u64) {
+fn run_fig8(scale: Scale, seed: u64) -> Sections {
     println!("== Fig. 8: HID-CAN under different node churning rates (λ=0.5) ==");
     let rows = fig8(scale, seed);
     println!("{}", print_fig8(&rows));
@@ -142,11 +193,14 @@ fn run_fig8(scale: Scale, seed: u64) {
     println!("{}", print_series(&reports, "f"));
     println!("-- (c) fairness index series --");
     println!("{}", print_series(&reports, "fair"));
+    vec![("churn-degrees".to_string(), reports)]
 }
 
-fn run_ckpt(scale: Scale, seed: u64) {
+fn run_ckpt(scale: Scale, seed: u64) -> Sections {
     println!("== Extension (§VI future work): checkpoint fault tolerance under churn ==");
     println!("churn	T-plain	T-ckpt	killed-plain	killed-ckpt	resubmits");
+    let mut plains = Vec::new();
+    let mut ckpts = Vec::new();
     for (deg, plain, ckpt) in fig8_checkpointing(scale, seed) {
         println!(
             "{:.0}%	{:.3}	{:.3}	{}	{}	{}",
@@ -157,25 +211,32 @@ fn run_ckpt(scale: Scale, seed: u64) {
             ckpt.killed,
             ckpt.checkpoint_resubmits
         );
+        plains.push(plain);
+        ckpts.push(ckpt);
     }
     println!();
+    vec![
+        ("plain".to_string(), plains),
+        ("checkpointing".to_string(), ckpts),
+    ]
 }
 
-fn run_table3(scale: Scale, seed: u64) {
+fn run_table3(scale: Scale, seed: u64) -> Sections {
     println!("== Table III: system scalability of HID-CAN ==");
     let reports = table3(scale, seed);
     println!("{}", print_table3(&reports));
     for r in &reports {
         println!("# {}", r.summary());
     }
+    vec![("table3".to_string(), reports)]
 }
 
-fn run_perf(args: &Args) {
+fn run_perf(args: &Args, seed: u64) {
     println!(
         "== perf: sweep parallelism x event-queue backend ({} scale) ==",
         args.scale_label
     );
-    let rep = perf::perf_compare(args.scale, args.scale_label, args.seed, args.reps);
+    let rep = perf::perf_compare(args.scale, args.scale_label, seed, args.reps);
     println!("{}", rep.render());
     if !rep.deterministic {
         eprintln!("FATAL: configurations disagreed — optimisation changed results");
@@ -188,47 +249,197 @@ fn run_perf(args: &Args) {
     println!("wrote {}", args.out);
 }
 
-fn run_diag(scale: Scale, seed: u64) {
+fn run_diag(scale: Scale, seed: u64, jitter: f64) -> Sections {
     println!("== diagnostic: λ=0.5 rejection split (oracle on) ==");
-    let reports = diag_lambda05(scale, seed);
-    println!("{}", print_diag(&reports));
-    for r in &reports {
+    let base = diag_lambda05(scale, seed);
+    println!("{}", print_diag(&base));
+    for r in &base {
         println!("# {}", r.summary());
         if !r.diag.is_empty() {
             println!("#   {}", r.diag);
         }
     }
+    println!("\n== candidate-set diversification: corner jitter {jitter} ==");
+    let jit = diag_lambda05_with(scale, seed, jitter);
+    println!("{}", print_diag_compare(&base, &jit, jitter));
+    vec![
+        ("baseline".to_string(), base),
+        (format!("jitter={jitter}"), jit),
+    ]
+}
+
+/// Returns the command's report sections plus the seed actually used (the
+/// file's own seed unless `--seed` overrides), so `--json` metadata
+/// records the truth.
+fn run_scenario_cmd(args: &Args) -> (Sections, u64) {
+    let Some(file) = &args.file else {
+        eprintln!("repro scenario needs a file (see scenarios/)");
+        std::process::exit(2);
+    };
+    let mut spec = ScenarioSpec::load(file).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    if let Some(seed) = args.seed {
+        spec.scenario.seed = seed;
+    }
+    println!(
+        "== scenario {} ({}, {} nodes, {:.1} h, workload {}) ==",
+        spec.name,
+        spec.scenario.protocol.label(),
+        spec.scenario.n_nodes,
+        spec.scenario.duration_ms as f64 / 3_600_000.0,
+        spec.scenario.workload.tag(),
+    );
+    let report = if let Some(trace_path) = &args.record {
+        let (report, trace) = record_run(&spec);
+        trace.save(trace_path).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(1);
+        });
+        println!(
+            "recorded {} workload events to {trace_path}",
+            trace.events.len()
+        );
+        report
+    } else {
+        spec.scenario.run()
+    };
+    println!("{}", report.summary());
+    println!("{}", report.series_rows());
+    println!("# fingerprint: {:016x}", fingerprint_hash(&report));
+    let seed = spec.scenario.seed;
+    (vec![(spec.name.clone(), vec![report])], seed)
+}
+
+/// Returns the replayed sections plus the trace's embedded seed.
+fn run_replay(args: &Args) -> (Sections, u64) {
+    let Some(file) = &args.file else {
+        eprintln!("repro replay needs a trace file (see `repro scenario --record`)");
+        std::process::exit(2);
+    };
+    let trace = Trace::load(file).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    println!(
+        "== replay {} ({} events) ==",
+        trace.spec.name,
+        trace.events.len()
+    );
+    match replay_run(&trace) {
+        Ok(report) => {
+            println!("bit-exact replay OK: fingerprint matches the recording");
+            println!("{}", report.summary());
+            let seed = trace.spec.scenario.seed;
+            (vec![(trace.spec.name.clone(), vec![report])], seed)
+        }
+        Err(e) => {
+            eprintln!("REPLAY FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Short FNV-1a digest of the full fingerprint, for human comparison.
+fn fingerprint_hash(r: &RunReport) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in r.fingerprint().bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
 }
 
 fn main() {
     let args = parse_args();
-    match args.cmd.as_str() {
-        "fig4" => run_fig4(args.scale, args.seed),
+    let takes_file = matches!(args.cmd.as_str(), "scenario" | "replay");
+    if !takes_file {
+        // Catch e.g. `repro table3 full` (a forgotten `--scale`): silently
+        // running at the default scale would hand back wrong-scale numbers.
+        if let Some(file) = &args.file {
+            eprintln!("unexpected argument {file:?}: `{}` takes no file", args.cmd);
+            std::process::exit(2);
+        }
+    } else if args.scale_given {
+        // Scenario files carry their own scale; a no-op --scale would hand
+        // back wrong-scale numbers just as silently.
+        eprintln!(
+            "--scale does not apply to `repro {}` (edit the scenario file's nodes/hours)",
+            args.cmd
+        );
+        std::process::exit(2);
+    }
+    if args.record.is_some() && args.cmd != "scenario" {
+        eprintln!("--record only applies to `repro scenario`");
+        std::process::exit(2);
+    }
+    if args.seed.is_some() && args.cmd == "replay" {
+        eprintln!("--seed does not apply to `repro replay` (the trace pins its seed)");
+        std::process::exit(2);
+    }
+    let seed = args.seed.unwrap_or(1);
+    // --json metadata must record what actually ran: scenario/replay use
+    // the file's (or trace's) seed and self-describe their scale.
+    let mut json_seed = seed;
+    let mut json_scale = args.scale_label;
+    let sections: Sections = match args.cmd.as_str() {
+        "fig4" => run_fig4(args.scale, seed),
         "fig5" | "fig6" | "fig7" => {
             let lambda = match args.cmd.as_str() {
                 "fig6" => 0.5,
                 "fig7" => 0.25,
                 _ => args.lambda,
             };
-            run_fig5(args.scale, lambda, args.seed);
+            run_fig5(args.scale, lambda, seed)
         }
-        "fig8" => run_fig8(args.scale, args.seed),
-        "ckpt" => run_ckpt(args.scale, args.seed),
-        "table3" => run_table3(args.scale, args.seed),
-        "perf" => run_perf(&args),
-        "diag" => run_diag(args.scale, args.seed),
+        "fig8" => run_fig8(args.scale, seed),
+        "ckpt" => run_ckpt(args.scale, seed),
+        "table3" => run_table3(args.scale, seed),
+        "perf" => {
+            run_perf(&args, seed);
+            Vec::new()
+        }
+        "diag" => run_diag(args.scale, seed, args.jitter),
+        "scenario" => {
+            let (sections, used_seed) = run_scenario_cmd(&args);
+            json_seed = used_seed;
+            json_scale = "scenario-file";
+            sections
+        }
+        "replay" => {
+            let (sections, used_seed) = run_replay(&args);
+            json_seed = used_seed;
+            json_scale = "scenario-file";
+            sections
+        }
         "all" => {
-            run_fig4(args.scale, args.seed);
+            let mut s = run_fig4(args.scale, seed);
             for l in [1.0, 0.5, 0.25] {
-                run_fig5(args.scale, l, args.seed);
+                s.extend(run_fig5(args.scale, l, seed));
             }
-            run_fig8(args.scale, args.seed);
-            run_table3(args.scale, args.seed);
-            run_ckpt(args.scale, args.seed);
+            s.extend(run_fig8(args.scale, seed));
+            s.extend(run_table3(args.scale, seed));
+            s.extend(run_ckpt(args.scale, seed));
+            s
         }
         other => {
             eprintln!("unknown command {other:?}");
             std::process::exit(2);
         }
+    };
+    if let Some(path) = &args.json {
+        if sections.is_empty() {
+            eprintln!(
+                "--json: `{}` has no report output (perf uses --out)",
+                args.cmd
+            );
+            std::process::exit(2);
+        }
+        let doc = reports_json(&args.cmd, json_scale, json_seed, &sections);
+        std::fs::write(path, doc).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path}");
     }
 }

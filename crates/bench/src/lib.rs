@@ -188,6 +188,14 @@ pub fn table3(scale: Scale, seed: u64) -> Vec<RunReport> {
 ///   node failed Inequality (2) again on task arrival (stale records /
 ///   contention casualties).
 pub fn diag_lambda05(scale: Scale, seed: u64) -> Vec<RunReport> {
+    diag_lambda05_with(scale, seed, 0.0)
+}
+
+/// [`diag_lambda05`] with per-query search-corner jitter (the ROADMAP's
+/// candidate-set diversification follow-up). `repro diag` runs the sweep
+/// at jitter 0 and at the requested jitter and prints the rejection-share
+/// comparison side by side.
+pub fn diag_lambda05_with(scale: Scale, seed: u64, jitter: f64) -> Vec<RunReport> {
     run_cells(
         scale
             .table3_nodes
@@ -197,12 +205,61 @@ pub fn diag_lambda05(scale: Scale, seed: u64) -> Vec<RunReport> {
                     .scenario(ProtocolChoice::Hid)
                     .nodes(n)
                     .lambda(0.5)
-                    .seed(seed);
+                    .seed(seed)
+                    .jitter(jitter);
                 sc.oracle = true;
                 sc
             })
             .collect(),
     )
+}
+
+/// Render the jitter A/B: how the arrival-time re-check rejection share
+/// (rejected / submissions) and T-Ratio move when the search corner is
+/// diversified.
+pub fn print_diag_compare(base: &[RunReport], jit: &[RunReport], jitter: f64) -> String {
+    let mut out =
+        format!("scenario\trej%@0\trej%@{jitter}\tT@0\tT@{jitter}\tfailed@0\tfailed@{jitter}\n");
+    for (b, j) in base.iter().zip(jit) {
+        let share = |r: &RunReport| r.rejected as f64 / r.generated.max(1) as f64 * 100.0;
+        out.push_str(&format!(
+            "{}\t{:.1}\t{:.1}\t{:.3}\t{:.3}\t{}\t{}\n",
+            b.scenario,
+            share(b),
+            share(j),
+            b.t_ratio,
+            j.t_ratio,
+            b.failed,
+            j.failed,
+        ));
+    }
+    out
+}
+
+/// Serialize a command's reports as one JSON document (hand-rolled writer,
+/// see `soc_sim::json`): named sections, each holding full `RunReport`s —
+/// the input format of the figure-plotting pipelines.
+pub fn reports_json(
+    cmd: &str,
+    scale_label: &str,
+    seed: u64,
+    sections: &[(String, Vec<RunReport>)],
+) -> String {
+    use soc_sim::json::{array, Obj};
+    let secs = array(sections.iter().map(|(label, reports)| {
+        Obj::new()
+            .str("label", label)
+            .raw("reports", &array(reports.iter().map(|r| r.to_json())))
+            .finish()
+    }));
+    let mut out = Obj::new()
+        .str("cmd", cmd)
+        .str("scale", scale_label)
+        .u64("seed", seed)
+        .raw("sections", &secs)
+        .finish();
+    out.push('\n');
+    out
 }
 
 /// Render the λ = 0.5 diagnostic split (all counts relative to overlay

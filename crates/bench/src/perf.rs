@@ -205,39 +205,42 @@ impl PerfReport {
         out
     }
 
-    /// Serialize by hand (no serde offline) — stable key order.
+    /// Serialize through the shared hand-rolled JSON writer
+    /// (`soc_sim::json`; no serde offline) — stable key order.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n");
-        let _ = writeln!(out, "  \"bench\": \"PR2 sweep+queue perf\",");
-        let _ = writeln!(out, "  \"scale\": \"{}\",", self.scale);
-        let _ = writeln!(out, "  \"seed\": {},", self.seed);
-        let _ = writeln!(out, "  \"parallel_threads\": {},", self.parallel_threads);
-        let _ = writeln!(out, "  \"deterministic\": {},", self.deterministic);
-        let _ = writeln!(
-            out,
-            "  \"speedup_table3_parallel_calendar_vs_serial_heap\": {},",
-            self.speedup("table3")
+        use soc_sim::json::{array, Obj};
+        let rows = array(self.rows.iter().map(|r| {
+            Obj::new()
+                .str("sweep", r.sweep)
+                .str("mode", r.mode)
+                .str("queue", r.queue)
+                .u64("threads", r.threads as u64)
+                .u64("wall_ms", r.wall_ms as u64)
+                .raw("cell_ms", &array(r.cell_ms.iter().map(|c| c.to_string())))
+                .finish()
+        }));
+        let speedup = |sweep: &str| {
+            self.speedup(sweep)
                 .map(|s| format!("{s:.3}"))
                 .unwrap_or_else(|| "null".into())
-        );
-        let _ = writeln!(
-            out,
-            "  \"speedup_fig4_parallel_calendar_vs_serial_heap\": {},",
-            self.speedup("fig4")
-                .map(|s| format!("{s:.3}"))
-                .unwrap_or_else(|| "null".into())
-        );
-        out.push_str("  \"rows\": [\n");
-        for (i, r) in self.rows.iter().enumerate() {
-            let comma = if i + 1 < self.rows.len() { "," } else { "" };
-            let cells: Vec<String> = r.cell_ms.iter().map(|c| c.to_string()).collect();
-            let _ = writeln!(
-                out,
-                "    {{\"sweep\": \"{}\", \"mode\": \"{}\", \"queue\": \"{}\", \"threads\": {}, \"wall_ms\": {}, \"cell_ms\": [{}]}}{comma}",
-                r.sweep, r.mode, r.queue, r.threads, r.wall_ms, cells.join(", ")
-            );
-        }
-        out.push_str("  ]\n}\n");
+        };
+        let mut out = Obj::new()
+            .str("bench", "PR2 sweep+queue perf")
+            .str("scale", self.scale)
+            .u64("seed", self.seed)
+            .u64("parallel_threads", self.parallel_threads as u64)
+            .bool("deterministic", self.deterministic)
+            .raw(
+                "speedup_table3_parallel_calendar_vs_serial_heap",
+                &speedup("table3"),
+            )
+            .raw(
+                "speedup_fig4_parallel_calendar_vs_serial_heap",
+                &speedup("fig4"),
+            )
+            .raw("rows", &rows)
+            .finish();
+        out.push('\n');
         out
     }
 }
@@ -274,8 +277,9 @@ mod tests {
         };
         assert_eq!(rep.speedup("table3"), Some(4.0));
         let j = rep.to_json();
-        assert!(j.contains("\"deterministic\": true"));
-        assert!(j.contains("\"wall_ms\": 25"));
+        assert!(j.contains("\"deterministic\":true"));
+        assert!(j.contains("\"wall_ms\":25"));
+        assert!(j.contains("\"cell_ms\":[20,30,50]"));
         assert!(j.trim_end().ends_with('}'));
         let t = rep.render();
         assert!(t.contains("4.00x"));

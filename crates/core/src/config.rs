@@ -54,6 +54,12 @@ pub struct PidCanConfig {
     /// contention hotspots the randomized agent/jump path avoids — the
     /// ablation bench quantifies that. Default: off (faithful).
     pub check_duty_cache: bool,
+    /// Candidate-set diversification: nudge each duty query's target point
+    /// up by `U[0, corner_jitter]` per normalized dimension, so concurrent
+    /// same-corner queries land on adjacent duty zones instead of racing
+    /// for one zone's records. 0 (default) = faithful paper behavior; the
+    /// λ=0.5 contention diagnostic (`repro diag`) A/Bs this knob.
+    pub corner_jitter: f64,
 }
 
 impl Default for PidCanConfig {
@@ -72,6 +78,7 @@ impl Default for PidCanConfig {
             jump_refill: 3,
             jump_budget: 40,
             check_duty_cache: false,
+            corner_jitter: 0.0,
         }
     }
 }

@@ -108,9 +108,28 @@ impl PidCan {
     }
 
     /// Map a raw resource vector to a CAN key-space point, appending the
-    /// random virtual coordinate under VD.
-    fn key_point<R: Rng>(&self, ctx_cmax: &ResVec, v: &ResVec, rng: &mut R) -> ResVec {
-        let p = v.normalize(ctx_cmax);
+    /// random virtual coordinate under VD. `jitter` opts a *duty query*
+    /// into corner diversification; record placement (StateUpdate) must
+    /// always pass `false` so cached records stay at the node's true
+    /// availability point.
+    fn key_point<R: Rng>(
+        &self,
+        ctx_cmax: &ResVec,
+        v: &ResVec,
+        rng: &mut R,
+        jitter: bool,
+    ) -> ResVec {
+        let mut p = v.normalize(ctx_cmax);
+        if jitter && self.cfg.corner_jitter > 0.0 {
+            // Diversify the search corner: an upward nudge keeps the duty
+            // zone on the qualified side (records there satisfy a demand at
+            // or below the jittered point) while spreading concurrent
+            // same-demand queries over adjacent zones. RNG draws are gated
+            // on the knob so jitter-off runs are bitwise unchanged.
+            for d in 0..p.dim() {
+                p[d] = (p[d] + rng.random::<f64>() * self.cfg.corner_jitter).min(1.0);
+            }
+        }
         if self.cfg.virtual_dim {
             p.push_dim(rng.random::<f64>())
         } else {
@@ -509,7 +528,7 @@ impl PidCan {
     ) {
         let target = {
             let cmax = *ctx.host.cmax();
-            self.key_point(&cmax, &effective, ctx.rng)
+            self.key_point(&cmax, &effective, ctx.rng, true)
         };
         let msg = PidMsg::DutyQuery {
             qid,
@@ -715,7 +734,7 @@ impl DiscoveryOverlay for PidCan {
                 let avail = ctx.host.availability(node);
                 let target = {
                     let cmax = *ctx.host.cmax();
-                    self.key_point(&cmax, &avail, ctx.rng)
+                    self.key_point(&cmax, &avail, ctx.rng, false)
                 };
                 let msg = PidMsg::StateUpdate {
                     subject: node,

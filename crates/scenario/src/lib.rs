@@ -1,0 +1,22 @@
+//! The scenario engine: declarative workload files and bit-exact trace
+//! record/replay.
+//!
+//! This layer sits between the generator library
+//! ([`soc_workload::SyntheticSource`]) and the runner
+//! ([`soc_sim::run_scenario_with`]):
+//!
+//! * [`ScenarioSpec`] — a hand-rolled `key = value` section format (no
+//!   external deps) describing a full experiment: protocol, scale, churn,
+//!   and one generator per workload axis. The committed `scenarios/`
+//!   gallery at the repo root is parsed by this module; `repro scenario
+//!   <file>` runs any of them.
+//! * [`record_run`] / [`replay_run`] — dump a run's realized
+//!   arrival/demand/churn event stream to a [`Trace`] and replay it
+//!   bit-exactly ([`soc_sim::RunReport::fingerprint`]-pinned), decoupling
+//!   workload generation from simulation.
+
+pub mod spec;
+pub mod trace;
+
+pub use spec::{ParseError, ScenarioSpec};
+pub use trace::{record_run, replay_run, Trace, TraceEvent};

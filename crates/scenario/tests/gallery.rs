@@ -1,0 +1,71 @@
+//! The committed `scenarios/` gallery: every file must parse, validate,
+//! and round-trip through the canonical renderer.
+
+use soc_scenario::ScenarioSpec;
+use std::path::PathBuf;
+
+fn gallery_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+fn gallery_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(gallery_dir())
+        .expect("scenarios/ gallery exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "scn"))
+        .collect();
+    files.sort();
+    assert!(
+        files.len() >= 5,
+        "gallery shrank to {} files — the README promises one per generator",
+        files.len()
+    );
+    files
+}
+
+#[test]
+fn every_gallery_file_parses_and_round_trips() {
+    for path in gallery_files() {
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        let spec = ScenarioSpec::load(&path).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_ne!(spec.name, "unnamed", "{name}: gallery files must be named");
+        // parse ∘ render is the identity, and render is a fixed point.
+        let rendered = spec.render();
+        let reparsed = ScenarioSpec::parse(&rendered)
+            .unwrap_or_else(|e| panic!("{name}: canonical form failed to reparse: {e}"));
+        assert_eq!(spec, reparsed, "{name}: round-trip changed the spec");
+        assert_eq!(rendered, reparsed.render(), "{name}: render not idempotent");
+    }
+}
+
+#[test]
+fn gallery_covers_every_generator_axis() {
+    use soc_workload::{ArrivalModel, DemandModel, DurationModel, NodeModel};
+    let specs: Vec<ScenarioSpec> = gallery_files()
+        .iter()
+        .map(|p| ScenarioSpec::load(p).unwrap())
+        .collect();
+    let arrivals: Vec<_> = specs.iter().map(|s| s.scenario.workload.arrival).collect();
+    assert!(arrivals
+        .iter()
+        .any(|a| matches!(a, ArrivalModel::Mmpp { .. })));
+    assert!(arrivals
+        .iter()
+        .any(|a| matches!(a, ArrivalModel::Diurnal { .. })));
+    assert!(arrivals
+        .iter()
+        .any(|a| matches!(a, ArrivalModel::FlashCrowd { .. })));
+    assert!(specs
+        .iter()
+        .any(|s| matches!(s.scenario.workload.duration, DurationModel::Pareto { .. })));
+    assert!(specs
+        .iter()
+        .any(|s| matches!(s.scenario.workload.demand, DemandModel::Hotspot { .. })));
+    assert!(specs
+        .iter()
+        .any(|s| matches!(s.scenario.workload.nodes, NodeModel::Classes { .. })));
+    assert!(specs.iter().any(|s| s.scenario.corner_jitter > 0.0));
+    assert!(specs
+        .iter()
+        .any(|s| s.scenario.churn_degree > 0.0 && s.scenario.checkpointing));
+}

@@ -1,0 +1,73 @@
+//! Per-generator determinism: for every gallery scenario (shrunk to a
+//! fast scale), the same seed yields a bit-identical fingerprint and a
+//! different seed yields a different run.
+
+use soc_scenario::ScenarioSpec;
+use std::path::PathBuf;
+
+fn shrunk_gallery() -> Vec<ScenarioSpec> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("scenarios/ gallery exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "scn"))
+        .collect();
+    files.sort();
+    files
+        .iter()
+        .map(|p| {
+            let mut spec = ScenarioSpec::load(p).unwrap();
+            // Shrink to unit-test scale; the generator mix is what matters.
+            spec.scenario.n_nodes = 80;
+            spec.scenario.duration_ms = 3_600_000;
+            spec.scenario.sample_ms = 1_800_000;
+            spec.scenario.mean_arrival_s = 600.0;
+            spec.scenario.mean_duration_s = 600.0;
+            spec
+        })
+        .collect()
+}
+
+#[test]
+fn same_seed_same_fingerprint_for_every_generator() {
+    for spec in shrunk_gallery() {
+        let a = spec.scenario.run();
+        let b = spec.scenario.run();
+        assert!(a.generated > 0, "{}: nothing generated", spec.name);
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "{}: same seed diverged",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn different_seeds_differ_for_every_generator() {
+    for mut spec in shrunk_gallery() {
+        let a = spec.scenario.run();
+        spec.scenario.seed += 1;
+        let b = spec.scenario.run();
+        assert_ne!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "{}: seed had no effect",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn non_paper_workloads_are_tagged_in_reports() {
+    let spec = shrunk_gallery()
+        .into_iter()
+        .find(|s| s.name == "storm")
+        .expect("storm gallery entry");
+    let r = spec.scenario.run();
+    assert!(
+        r.scenario.contains("wl=mmpp+pareto+hotspot+classes"),
+        "scenario descriptor {} missing workload tag",
+        r.scenario
+    );
+}

@@ -7,7 +7,7 @@
 //! protocol consumes does not perturb the workload another run sees —
 //! essential for paired protocol comparisons like the paper's Fig. 5-7.
 
-use rand::rngs::SmallRng;
+use rand::rngs::{splitmix64, SmallRng};
 use rand::SeedableRng;
 
 /// Well-known stream identifiers. Using an enum (not magic numbers) keeps
@@ -26,6 +26,10 @@ pub enum RngStreams {
     Network,
     /// Churn event placement.
     Churn,
+    /// LAN topology construction.
+    Topology,
+    /// Dispatch-time candidate shuffling (best-fit contention control).
+    Dispatch,
     /// Anything test-local.
     Test(u16),
 }
@@ -39,19 +43,16 @@ impl RngStreams {
             RngStreams::Protocol => 4,
             RngStreams::Network => 5,
             RngStreams::Churn => 6,
+            RngStreams::Topology => 7,
+            RngStreams::Dispatch => 8,
             RngStreams::Test(k) => 1000 + k as u64,
         }
     }
 }
 
-/// SplitMix64 finalizer: decorrelates `(seed, stream)` pairs so adjacent
-/// seeds do not produce correlated streams.
-fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+// The shared `rand::rngs::splitmix64` finalizer decorrelates
+// `(seed, stream)` pairs so adjacent seeds do not produce correlated
+// streams.
 
 /// Derive the RNG for `stream` under master `seed`.
 pub fn stream_rng(seed: u64, stream: RngStreams) -> SmallRng {

@@ -1,0 +1,181 @@
+//! Hand-rolled JSON emission.
+//!
+//! The workspace builds offline, so serde is unavailable (the ROADMAP's
+//! "serde declared but inert" item); report types instead serialize
+//! through this minimal writer. Strings are escaped per RFC 8259, floats
+//! render via Rust's shortest-round-trip formatter (`{}`), and non-finite
+//! floats become `null` (JSON has no NaN/Infinity).
+
+use std::fmt::Write;
+
+/// Escape a string into a quoted JSON literal.
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render an f64 as a JSON number (`null` when non-finite).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Incremental JSON object writer (insertion-ordered keys).
+pub struct Obj {
+    buf: String,
+    first: bool,
+}
+
+impl Obj {
+    /// Start an object.
+    pub fn new() -> Self {
+        Obj {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push_str(&quote(k));
+        self.buf.push(':');
+    }
+
+    /// Add a string field.
+    pub fn str(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.buf.push_str(&quote(v));
+        self
+    }
+
+    /// Add an unsigned integer field.
+    pub fn u64(mut self, k: &str, v: u64) -> Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Add an f64 field (`null` when non-finite).
+    pub fn f64(mut self, k: &str, v: f64) -> Self {
+        self.key(k);
+        self.buf.push_str(&number(v));
+        self
+    }
+
+    /// Add an optional field (`null` when `None`).
+    pub fn opt_u64(mut self, k: &str, v: Option<u64>) -> Self {
+        self.key(k);
+        match v {
+            Some(v) => {
+                let _ = write!(self.buf, "{v}");
+            }
+            None => self.buf.push_str("null"),
+        }
+        self
+    }
+
+    /// Add an optional float field (`null` when `None` or non-finite).
+    pub fn opt_f64(mut self, k: &str, v: Option<f64>) -> Self {
+        self.key(k);
+        match v {
+            Some(v) => self.buf.push_str(&number(v)),
+            None => self.buf.push_str("null"),
+        }
+        self
+    }
+
+    /// Add a boolean field.
+    pub fn bool(mut self, k: &str, v: bool) -> Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Add a field whose value is already-rendered JSON.
+    pub fn raw(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.buf.push_str(v);
+        self
+    }
+
+    /// Close the object and return its text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for Obj {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Render an array from already-rendered JSON elements.
+pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let mut buf = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        buf.push_str(&item);
+    }
+    buf.push(']');
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_controls_and_quotes() {
+        assert_eq!(quote("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(quote("\u{01}"), r#""\u0001""#);
+        assert_eq!(quote("λ=0.5"), "\"λ=0.5\"");
+    }
+
+    #[test]
+    fn numbers_round_trip_and_nan_is_null() {
+        assert_eq!(number(0.1), "0.1");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+        let v: f64 = 1.0 / 3.0;
+        assert_eq!(number(v).parse::<f64>().unwrap(), v);
+    }
+
+    #[test]
+    fn objects_and_arrays_compose() {
+        let inner = Obj::new().str("k", "v").u64("n", 7).finish();
+        let out = Obj::new()
+            .bool("ok", true)
+            .opt_f64("x", None)
+            .raw("rows", &array([inner.clone(), inner]))
+            .finish();
+        assert_eq!(
+            out,
+            r#"{"ok":true,"x":null,"rows":[{"k":"v","n":7},{"k":"v","n":7}]}"#
+        );
+    }
+}

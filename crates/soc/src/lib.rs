@@ -18,9 +18,11 @@
 //! println!("{}", report.summary());
 //! ```
 
+pub mod json;
 pub mod report;
 pub mod runner;
 pub mod scenario;
 
 pub use report::RunReport;
+pub use runner::{build_source, run_scenario, run_scenario_with};
 pub use scenario::{ProtocolChoice, Scenario};

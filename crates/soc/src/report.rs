@@ -152,6 +152,56 @@ impl RunReport {
         out
     }
 
+    /// Serialize the full report as one JSON object (hand-rolled writer —
+    /// see [`crate::json`]; serde is unavailable offline). Floats use the
+    /// shortest round-trip representation, so a parsed value compares
+    /// equal to the original.
+    pub fn to_json(&self) -> String {
+        use crate::json::{array, Obj};
+        let series = array(self.series.iter().map(|p| {
+            Obj::new()
+                .u64("t_ms", p.t_ms)
+                .u64("generated", p.generated)
+                .u64("finished", p.finished)
+                .u64("failed", p.failed)
+                .u64("killed", p.killed)
+                .f64("t_ratio", p.t_ratio)
+                .f64("f_ratio", p.f_ratio)
+                .f64("fairness", p.fairness)
+                .finish()
+        }));
+        let breakdown = array(
+            self.msg_breakdown
+                .iter()
+                .map(|(label, count)| Obj::new().str("kind", label).u64("count", *count).finish()),
+        );
+        Obj::new()
+            .str("label", &self.label)
+            .str("scenario", &self.scenario)
+            .u64("generated", self.generated)
+            .u64("finished", self.finished)
+            .u64("failed", self.failed)
+            .u64("killed", self.killed)
+            .u64("rejected", self.rejected)
+            .u64("checkpoint_resubmits", self.checkpoint_resubmits)
+            .u64("local_generated", self.local_generated)
+            .u64("local_finished", self.local_finished)
+            .opt_u64("oracle_matchable", self.oracle_matchable)
+            .opt_u64("oracle_record_matchable", self.oracle_record_matchable)
+            .opt_f64("oracle_mean_matching", self.oracle_mean_matching)
+            .f64("t_ratio", self.t_ratio)
+            .f64("f_ratio", self.f_ratio)
+            .f64("fairness", self.fairness)
+            .f64("mean_efficiency", self.mean_efficiency)
+            .u64("msg_total", self.msg_total)
+            .f64("msg_per_node", self.msg_per_node)
+            .raw("msg_breakdown", &breakdown)
+            .u64("wall_ms", self.wall_ms as u64)
+            .str("diag", &self.diag)
+            .raw("series", &series)
+            .finish()
+    }
+
     /// Count for one message kind, 0 when absent.
     pub fn msg_count(&self, kind: MsgKind) -> u64 {
         self.msg_breakdown
@@ -212,6 +262,27 @@ mod tests {
     #[test]
     fn series_rows_header() {
         assert!(fake().series_rows().starts_with("hour\t"));
+    }
+
+    #[test]
+    fn json_emits_every_field() {
+        let r = fake();
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"label\":\"HID-CAN\""));
+        assert!(j.contains("\"scenario\":\"n=100 λ=0.5\""));
+        assert!(j.contains("\"generated\":100"));
+        assert!(j.contains("\"oracle_matchable\":null"));
+        assert!(j.contains("\"t_ratio\":0.6"));
+        assert!(j.contains("\"msg_breakdown\":[{\"kind\":\"state-update\",\"count\":3000}"));
+        assert!(j.contains("\"series\":[]"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        let depth = j.chars().fold(0i64, |d, c| match c {
+            '{' | '[' => d + 1,
+            '}' | ']' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0);
     }
 
     #[test]

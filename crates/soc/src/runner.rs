@@ -14,7 +14,7 @@ use soc_overlay::{Candidate, Ctx, DiscoveryOverlay, Effect, HostInfo, QueryReque
 use soc_psm::{NodeExec, PsmConfig, RunningTask};
 use soc_simcore::{stream_rng, EventQueue, RngStreams};
 use soc_types::{NodeId, QueryId, ResVec, SimMillis, TaskId, PERF_DIMS};
-use soc_workload::{cmax, DemandSampler, NodeCapacitySampler, PoissonArrivals};
+use soc_workload::{cmax, SyntheticSource, WorkloadSource};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
@@ -92,6 +92,9 @@ enum Ev<M> {
 
 struct Sim<'s, P: DiscoveryOverlay> {
     sc: &'s Scenario,
+    /// All workload randomness flows through this boundary; see
+    /// [`soc_workload::WorkloadSource`] for the replay contract.
+    source: &'s mut dyn WorkloadSource,
     proto: P,
     can: CanOverlay,
     hosts: Hosts,
@@ -111,17 +114,19 @@ struct Sim<'s, P: DiscoveryOverlay> {
     oracle_match_sum: u64,
     oracle_record_matchable: u64,
     avg_cap: ResVec,
-    demand: DemandSampler,
-    arrivals: PoissonArrivals,
     next_task: u64,
     next_query: u64,
     free_ids: VecDeque<NodeId>,
     live: Vec<NodeId>,
     live_pos: Vec<usize>,
+    /// Consumed only through `source.node_capacity`.
+    rng_caps: SmallRng,
+    /// Consumed only through `source.next_delay`/`next_task`.
     rng_work: SmallRng,
     rng_proto: SmallRng,
     rng_net: SmallRng,
     rng_churn: SmallRng,
+    rng_dispatch: SmallRng,
     rng_overlay: SmallRng,
 }
 
@@ -132,14 +137,16 @@ fn id_headroom(n: usize) -> usize {
 }
 
 impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
-    fn new(sc: &'s Scenario, proto: P, can_dim: usize) -> Self {
+    fn new(sc: &'s Scenario, source: &'s mut dyn WorkloadSource, proto: P, can_dim: usize) -> Self {
         let max_nodes = sc.n_nodes + id_headroom(sc.n_nodes);
         let mut rng_caps = stream_rng(sc.seed, RngStreams::NodeCapacities);
+        let mut rng_topo = stream_rng(sc.seed, RngStreams::Topology);
         let mut rng_overlay = stream_rng(sc.seed, RngStreams::Overlay);
         let rng_net = stream_rng(sc.seed, RngStreams::Network);
 
-        let sampler = NodeCapacitySampler;
-        let caps: Vec<ResVec> = sampler.sample_n(max_nodes, &mut rng_caps);
+        let caps: Vec<ResVec> = (0..max_nodes)
+            .map(|_| source.node_capacity(&mut rng_caps))
+            .collect();
         let avg_cap = {
             let mut acc = ResVec::zeros(caps[0].dim());
             for c in &caps[..sc.n_nodes] {
@@ -159,7 +166,7 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
             max_nodes,
             sc.lan_size,
             LatencyConfig::default(),
-            &mut rng_caps,
+            &mut rng_topo,
         );
 
         let live: Vec<NodeId> = (0..sc.n_nodes).map(|i| NodeId(i as u32)).collect();
@@ -172,6 +179,7 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
 
         Sim {
             sc,
+            source,
             proto,
             can,
             hosts: Hosts {
@@ -193,17 +201,17 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
             oracle_match_sum: 0,
             oracle_record_matchable: 0,
             avg_cap,
-            demand: DemandSampler::with_mean_duration(sc.lambda, sc.mean_duration_s),
-            arrivals: PoissonArrivals::new(sc.mean_arrival_s),
             next_task: 0,
             next_query: 0,
             free_ids,
             live,
             live_pos,
+            rng_caps,
             rng_work: stream_rng(sc.seed, RngStreams::Workload),
             rng_proto: stream_rng(sc.seed, RngStreams::Protocol),
             rng_net,
             rng_churn: stream_rng(sc.seed, RngStreams::Churn),
+            rng_dispatch: stream_rng(sc.seed, RngStreams::Dispatch),
             rng_overlay,
         }
     }
@@ -342,10 +350,10 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
             self.tracker.task_failed();
             return;
         }
-        // Fisher–Yates on the candidate order (workload RNG stream keeps
-        // protocol streams untouched).
+        // Fisher–Yates on the candidate order (a dedicated dispatch RNG
+        // stream keeps the workload stream pure for trace replay).
         for i in (1..ranked.len()).rev() {
-            let j = self.rng_work.random_range(0..=i);
+            let j = self.rng_dispatch.random_range(0..=i);
             ranked.swap(i, j);
         }
         let target = ranked[0].node;
@@ -473,11 +481,11 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
             return; // chain ends; a future join restarts it
         }
         let now = self.queue.now();
-        // Schedule the next arrival first (Poisson process per node).
-        let delay = self.arrivals.next_delay(&mut self.rng_work);
+        // Schedule the next arrival first (per-node renewal process).
+        let delay = self.source.next_delay(node, now, &mut self.rng_work);
         self.queue.schedule_in(delay, Ev::Arrival { node });
 
-        let spec = self.demand.sample(&mut self.rng_work);
+        let spec = self.source.next_task(node, now, &mut self.rng_work);
 
         if self.sc.local_exec && self.hosts.execs[node.idx()].qualifies(&spec.expect) {
             // Satisfied by the local scheduler: the discovery protocol is
@@ -546,8 +554,14 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
 
     fn churn_swap(&mut self) {
         // One departure + one join, uniformly spread over time (§IV-B).
-        if self.live.len() > 1 {
-            let victim = self.random_live();
+        let victim = if self.live.len() > 1 {
+            Some(self.random_live())
+        } else {
+            None
+        };
+        let newcomer = self.free_ids.front().copied();
+        self.source.note_churn(self.queue.now(), victim, newcomer);
+        if let Some(victim) = victim {
             self.node_leave(victim);
         }
         if let Some(newcomer) = self.free_ids.pop_front() {
@@ -626,13 +640,14 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
         let splitter = self.can.join(newcomer, &point);
         self.hosts.alive[newcomer.idx()] = true;
         // Fresh machine: new capacity, idle scheduler.
-        let cap = NodeCapacitySampler.sample(&mut self.rng_overlay);
+        let cap = self.source.node_capacity(&mut self.rng_caps);
         self.hosts.execs[newcomer.idx()] = NodeExec::new(cap, PsmConfig::default());
         self.live_add(newcomer);
         self.with_proto(|p, ctx| p.on_node_joined(ctx, newcomer));
         self.with_proto(|p, ctx| p.on_zones_reassigned(ctx, &[splitter]));
         // Restart the arrival chain.
-        let delay = self.arrivals.next_delay(&mut self.rng_work);
+        let now = self.queue.now();
+        let delay = self.source.next_delay(newcomer, now, &mut self.rng_work);
         self.queue
             .schedule_in(delay, Ev::Arrival { node: newcomer });
     }
@@ -656,7 +671,7 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
         // Arrival chains.
         let nodes: Vec<NodeId> = self.live.clone();
         for node in nodes {
-            let delay = self.arrivals.next_delay(&mut self.rng_work);
+            let delay = self.source.next_delay(node, 0, &mut self.rng_work);
             self.queue.schedule_in(delay, Ev::Arrival { node });
         }
         // Sampling + churn.
@@ -711,10 +726,7 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
             .collect();
         RunReport {
             label: self.proto.name().to_string(),
-            scenario: format!(
-                "n={} λ={} churn={} seed={}",
-                self.sc.n_nodes, self.sc.lambda, self.sc.churn_degree, self.sc.seed
-            ),
+            scenario: self.sc.descriptor(),
             series: self.tracker.series().to_vec(),
             generated: self.tracker.generated(),
             finished: self.tracker.finished(),
@@ -752,41 +764,59 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
     }
 }
 
-/// Run a scenario with its configured protocol.
+/// Build the scenario's configured synthetic workload source (the object a
+/// trace recorder wraps).
+pub fn build_source(sc: &Scenario) -> SyntheticSource {
+    SyntheticSource::new(
+        sc.workload,
+        sc.lambda,
+        sc.mean_arrival_s,
+        sc.mean_duration_s,
+    )
+}
+
+/// Run a scenario with its configured protocol and workload.
 pub fn run_scenario(sc: &Scenario) -> RunReport {
+    let mut source = build_source(sc);
+    run_scenario_with(sc, &mut source)
+}
+
+/// Run a scenario pulling all workload decisions from an explicit
+/// [`WorkloadSource`] — the trace record/replay entry point. The source
+/// must match the scenario's shape (node counts, call order); the
+/// scenario's own `workload` spec is ignored.
+pub fn run_scenario_with(sc: &Scenario, source: &mut dyn WorkloadSource) -> RunReport {
     let max_nodes = sc.n_nodes + id_headroom(sc.n_nodes);
     // Scaled-down scenarios shrink task durations; protocol cycles shrink
     // by the same factor so staleness-vs-lifetime ratios stay faithful.
     let f = (sc.mean_duration_s / 3000.0).min(1.0);
     match sc.protocol {
-        ProtocolChoice::Hid => run_pidcan(sc, PidCanConfig::hid().scale_cycles(f), max_nodes),
-        ProtocolChoice::Sid => run_pidcan(sc, PidCanConfig::sid().scale_cycles(f), max_nodes),
-        ProtocolChoice::HidSos => {
-            run_pidcan(sc, PidCanConfig::hid_sos().scale_cycles(f), max_nodes)
-        }
-        ProtocolChoice::SidSos => {
-            run_pidcan(sc, PidCanConfig::sid_sos().scale_cycles(f), max_nodes)
-        }
-        ProtocolChoice::SidVd => run_pidcan(sc, PidCanConfig::sid_vd().scale_cycles(f), max_nodes),
+        ProtocolChoice::Hid => run_pidcan(sc, source, PidCanConfig::hid().scale_cycles(f)),
+        ProtocolChoice::Sid => run_pidcan(sc, source, PidCanConfig::sid().scale_cycles(f)),
+        ProtocolChoice::HidSos => run_pidcan(sc, source, PidCanConfig::hid_sos().scale_cycles(f)),
+        ProtocolChoice::SidSos => run_pidcan(sc, source, PidCanConfig::sid_sos().scale_cycles(f)),
+        ProtocolChoice::SidVd => run_pidcan(sc, source, PidCanConfig::sid_vd().scale_cycles(f)),
         ProtocolChoice::Newscast => {
             let proto = Newscast::new(
                 GossipConfig::default().scale_cycles(f),
                 sc.n_nodes,
                 max_nodes,
             );
-            Sim::new(sc, proto, soc_types::SOC_DIMS).run()
+            Sim::new(sc, source, proto, soc_types::SOC_DIMS).run()
         }
         ProtocolChoice::Khdn => {
             let proto = KhdnCan::new(KhdnConfig::default().scale_cycles(f), sc.n_nodes, max_nodes);
-            Sim::new(sc, proto, soc_types::SOC_DIMS).run()
+            Sim::new(sc, source, proto, soc_types::SOC_DIMS).run()
         }
     }
 }
 
-fn run_pidcan(sc: &Scenario, cfg: PidCanConfig, max_nodes: usize) -> RunReport {
+fn run_pidcan(sc: &Scenario, source: &mut dyn WorkloadSource, mut cfg: PidCanConfig) -> RunReport {
+    let max_nodes = sc.n_nodes + id_headroom(sc.n_nodes);
+    cfg.corner_jitter = sc.corner_jitter;
     let dim = cfg.overlay_dim();
     let proto = PidCan::new(cfg, dim, sc.n_nodes, max_nodes);
-    Sim::new(sc, proto, dim).run()
+    Sim::new(sc, source, proto, dim).run()
 }
 
 #[cfg(test)]

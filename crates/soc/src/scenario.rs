@@ -1,7 +1,9 @@
-//! Scenario configuration (the knobs of §IV-A).
+//! Scenario configuration (the knobs of §IV-A, plus the workload-shape
+//! and search-diversification extensions).
 
 use crate::report::RunReport;
 use soc_types::SimMillis;
+use soc_workload::WorkloadSpec;
 
 /// Which discovery protocol a scenario evaluates (the six protocols of
 /// Fig. 5–7 plus KHDN-CAN from Fig. 4).
@@ -61,7 +63,7 @@ impl ProtocolChoice {
 
 /// A full experiment configuration. Build with [`Scenario::paper`] and the
 /// chainable setters.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Scenario {
     /// Protocol under test.
     pub protocol: ProtocolChoice,
@@ -100,6 +102,16 @@ pub struct Scenario {
     /// work): tasks killed by churn are re-submitted to the overlay with
     /// the work they had already completed preserved, rather than lost.
     pub checkpointing: bool,
+    /// Workload shape (arrival/duration/demand/capacity models). The
+    /// default is the paper's §IV-A workload; base rates always come from
+    /// `lambda`, `mean_arrival_s` and `mean_duration_s` above.
+    pub workload: WorkloadSpec,
+    /// Per-query search-corner jitter for PID-CAN protocols: each duty
+    /// query's target point is nudged up by `U[0, corner_jitter]` per
+    /// dimension, spreading concurrent same-corner queries over adjacent
+    /// zones (candidate-set diversification against the λ=0.5 re-check
+    /// rejection pile-up). 0 = faithful paper behavior.
+    pub corner_jitter: f64,
 }
 
 impl Scenario {
@@ -122,6 +134,8 @@ impl Scenario {
             dispatch_kbytes: 64.0,
             oracle: false,
             checkpointing: false,
+            workload: WorkloadSpec::default(),
+            corner_jitter: 0.0,
         }
     }
 
@@ -172,6 +186,34 @@ impl Scenario {
     pub fn with_checkpointing(mut self) -> Self {
         self.checkpointing = true;
         self
+    }
+
+    /// Set the workload shape.
+    pub fn workload(mut self, w: WorkloadSpec) -> Self {
+        self.workload = w;
+        self
+    }
+
+    /// Set the per-query search-corner jitter (0 disables).
+    pub fn jitter(mut self, j: f64) -> Self {
+        self.corner_jitter = j;
+        self
+    }
+
+    /// The report's scenario descriptor. Default-workload, jitter-free
+    /// configurations render exactly as before; extensions append tags.
+    pub fn descriptor(&self) -> String {
+        let mut s = format!(
+            "n={} λ={} churn={} seed={}",
+            self.n_nodes, self.lambda, self.churn_degree, self.seed
+        );
+        if !self.workload.is_paper() {
+            s.push_str(&format!(" wl={}", self.workload.tag()));
+        }
+        if self.corner_jitter > 0.0 {
+            s.push_str(&format!(" jit={}", self.corner_jitter));
+        }
+        s
     }
 
     /// Run the scenario to completion.

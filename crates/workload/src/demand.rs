@@ -16,9 +16,9 @@ use rand::{Rng, RngExt};
 use soc_types::{ResVec, SOC_DIMS};
 
 /// Per-dimension demand bases (the `1×` lower bounds of Table II).
-const BASE: [f64; SOC_DIMS] = [1.0, 20.0, 0.1, 20.0, 512.0];
+pub const BASE: [f64; SOC_DIMS] = [1.0, 20.0, 0.1, 20.0, 512.0];
 /// Per-dimension demand maxima (the `1×` upper bounds of Table II).
-const TOP: [f64; SOC_DIMS] = [25.6, 80.0, 10.0, 240.0, 4096.0];
+pub const TOP: [f64; SOC_DIMS] = [25.6, 80.0, 10.0, 240.0, 4096.0];
 
 /// A generated task: its minimal demand vector and nominal duration.
 #[derive(Clone, Copy, Debug, PartialEq)]

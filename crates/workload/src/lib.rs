@@ -1,5 +1,8 @@
 //! Workload generation: Table I node capacities, Table II task demands,
-//! Poisson arrivals.
+//! Poisson arrivals — plus the [`WorkloadSource`] boundary and the
+//! [`SyntheticSource`] generator library (bursty MMPP, diurnal,
+//! flash-crowd arrivals; Pareto durations; Zipf demand hotspots;
+//! heterogeneous capacity classes) behind declarative [`WorkloadSpec`]s.
 //!
 //! §IV-A: *"the user requests (or tasks) will be periodically generated on
 //! each node based on Poisson process with 3000 seconds as its mean"*, and
@@ -12,9 +15,15 @@
 //! low corner of the CAN space (the hotspot regime of Fig. 4(b)).
 
 pub mod demand;
+pub mod generators;
 pub mod nodes;
 pub mod poisson;
+pub mod source;
+pub mod spec;
 
 pub use demand::{DemandSampler, TaskSpec};
+pub use generators::SyntheticSource;
 pub use nodes::{cmax, NodeCapacitySampler};
 pub use poisson::PoissonArrivals;
+pub use source::WorkloadSource;
+pub use spec::{ArrivalModel, DemandModel, DurationModel, NodeModel, WorkloadSpec};

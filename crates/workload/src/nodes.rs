@@ -56,6 +56,27 @@ impl NodeCapacitySampler {
     pub fn sample_n<R: Rng>(&self, n: usize, rng: &mut R) -> Vec<ResVec> {
         (0..n).map(|_| self.sample(rng)).collect()
     }
+
+    /// Draw one capacity vector restricted to one half of the Table I grid:
+    /// `upper` samples every dimension from its top-two discrete levels (and
+    /// the upper LAN range), `!upper` from the bottom two. Both halves stay
+    /// inside the Table I grid, so [`cmax`] still dominates every sample —
+    /// the heterogeneous "node class" generators build on this.
+    pub fn sample_half<R: Rng>(&self, rng: &mut R, upper: bool) -> ResVec {
+        let lo = if upper { 2 } else { 0 };
+        let procs = PROCS[rng.random_range(lo..lo + 2)];
+        let rate = RATES[rng.random_range(lo..lo + 2)];
+        let io = IOS[rng.random_range(lo..lo + 2)];
+        let mem = MEMS[rng.random_range(lo..lo + 2)];
+        let disk = DISKS[rng.random_range(lo..lo + 2)];
+        let mid = (NET_RANGE.0 + NET_RANGE.1) / 2.0;
+        let net = if upper {
+            rng.random_range(mid..=NET_RANGE.1)
+        } else {
+            rng.random_range(NET_RANGE.0..=mid)
+        };
+        ResVec::from_slice(&[procs * rate, io, net, disk, mem])
+    }
 }
 
 #[cfg(test)]

@@ -22,6 +22,7 @@
 //! | [`gossip`] | `soc-gossip` | Newscast baseline |
 //! | [`khdn`] | `soc-khdn` | KHDN-CAN baseline |
 //! | [`sim`] | `soc-sim` | scenario runner (Fig. 4–8, Table III) |
+//! | [`scenario`] | `soc-scenario` | declarative scenario files + trace record/replay |
 //!
 //! ## Quickstart
 //!
@@ -48,6 +49,7 @@ pub use soc_metrics as metrics;
 pub use soc_net as net;
 pub use soc_overlay as overlay;
 pub use soc_psm as psm;
+pub use soc_scenario as scenario;
 pub use soc_sim as sim;
 pub use soc_simcore as simcore;
 pub use soc_types as types;

@@ -8,8 +8,16 @@
 //!
 //! Differences from upstream, deliberately accepted for an offline build:
 //!
-//! * **No shrinking.** A failing case reports the generated inputs (via the
-//!   `Debug` payload embedded in assertion messages) but is not minimized.
+//! * **Greedy halving-shrink instead of value trees.** A failing case is
+//!   minimized by repeatedly taking the first still-failing candidate from
+//!   [`Strategy::shrink_candidates`] (integer ranges walk a halving ladder
+//!   toward the range start; vectors chop structurally, then shrink
+//!   elementwise). `prop_map`/`prop_oneof` compositions do not shrink
+//!   (their transforms cannot be inverted); the original failing input is
+//!   still reported.
+//! * **Err-based failure detection.** `prop_assert!` failures shrink;
+//!   bare `panic!`/`assert!` inside a body still fails the test but
+//!   propagates immediately without minimization.
 //! * **Fixed derived seeding.** Cases are generated from a deterministic
 //!   per-case seed, so failures reproduce exactly on re-run. Set
 //!   `PROPTEST_CASES` to raise or lower the case count (default 64).
@@ -71,6 +79,7 @@ pub mod prelude {
 
 #[doc(hidden)]
 pub mod __rt {
+    use crate::Strategy;
     pub use rand::rngs::SmallRng;
     pub use rand::SeedableRng;
 
@@ -82,6 +91,68 @@ pub mod __rt {
             h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
         }
         SmallRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// The `proptest!` case loop: sample, run, and on failure minimize via
+    /// [`shrink_greedy`] and panic with both the original and the shrunk
+    /// input. Taking the body and describer as generic closures pins their
+    /// argument type to `S::Value`, which the macro could not spell out.
+    pub fn run_cases<S, B, D>(test_name: &str, cases: u32, strat: S, body: B, describe: D)
+    where
+        S: Strategy,
+        B: Fn(&S::Value) -> Result<(), String>,
+        D: Fn(&S::Value) -> String,
+    {
+        for case in 0..cases {
+            let mut rng = case_rng(test_name, case);
+            let vals = strat.sample(&mut rng);
+            if let Err(msg) = body(&vals) {
+                let orig_desc = format!("case {case}{}", describe(&vals));
+                let (min, min_msg, steps) = shrink_greedy(&strat, vals, msg.clone(), &body);
+                if steps == 0 {
+                    panic!("proptest case failed [{orig_desc}]: {msg}");
+                }
+                panic!(
+                    "proptest case failed [{orig_desc}]: {msg}\n  minimized ({steps} shrink steps) [{}]: {min_msg}",
+                    describe(&min).trim_start(),
+                );
+            }
+        }
+    }
+
+    /// Greedy minimization: repeatedly replace the failing value with its
+    /// first still-failing shrink candidate. Returns the minimal failing
+    /// value, its failure message, and the number of successful shrink
+    /// steps. Bounded by a step and a candidate-evaluation cap so a
+    /// pathological body cannot hang the failure path.
+    pub fn shrink_greedy<S, F>(
+        strat: &S,
+        mut value: S::Value,
+        mut msg: String,
+        body: F,
+    ) -> (S::Value, String, usize)
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> Result<(), String>,
+    {
+        let mut steps = 0usize;
+        let mut evals = 0usize;
+        'outer: while steps < 4096 {
+            for cand in strat.shrink_candidates(&value) {
+                evals += 1;
+                if evals > 20_000 {
+                    break 'outer;
+                }
+                if let Err(m) = body(&cand) {
+                    value = cand;
+                    msg = m;
+                    steps += 1;
+                    continue 'outer;
+                }
+            }
+            break; // no candidate still fails: local minimum reached
+        }
+        (value, msg, steps)
     }
 }
 
@@ -166,24 +237,28 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let cfg: $crate::ProptestConfig = $cfg;
-                for case in 0..cfg.cases {
-                    let mut __proptest_rng =
-                        $crate::__rt::case_rng(concat!(module_path!(), "::", stringify!($name)), case);
-                    $(
-                        let $arg = $crate::Strategy::sample(&($strat), &mut __proptest_rng);
-                    )*
-                    let __case_desc = format!(
-                        concat!("case {}", $(" ", stringify!($arg), "={:?}",)*),
-                        case $(, $arg)*
-                    );
-                    let result = (|| -> ::core::result::Result<(), String> {
+                // All arguments form one tuple strategy, sampled left to
+                // right (same RNG order as per-argument sampling) so the
+                // greedy shrinker can minimize across arguments.
+                $crate::__rt::run_cases(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    cfg.cases,
+                    ( $($strat,)* ),
+                    |__vals| {
+                        #[allow(unused_variables, clippy::unused_unit)]
+                        let ( $($arg,)* ) = ::core::clone::Clone::clone(__vals);
                         $body
                         ::core::result::Result::Ok(())
-                    })();
-                    if let ::core::result::Result::Err(msg) = result {
-                        panic!("proptest case failed [{}]: {}", __case_desc, msg);
-                    }
-                }
+                    },
+                    |__vals| {
+                        #[allow(unused_variables, clippy::unused_unit)]
+                        let ( $(ref $arg,)* ) = *__vals;
+                        format!(
+                            concat!("", $(" ", stringify!($arg), "={:?}",)*)
+                            $(, $arg)*
+                        )
+                    },
+                );
             }
         )*
     };

@@ -1,8 +1,10 @@
 //! Value-generation strategies.
 //!
 //! A [`Strategy`] deterministically maps an RNG state to a value. This is
-//! the generation half of upstream proptest's `Strategy` (no value trees,
-//! no shrinking).
+//! the generation half of upstream proptest's `Strategy`, plus greedy
+//! halving-shrink: a failing value can propose simpler candidates via
+//! [`Strategy::shrink_candidates`] (no value trees — the `proptest!`
+//! runner drives a greedy loop over candidates instead).
 
 use rand::rngs::SmallRng;
 use rand::RngExt;
@@ -13,6 +15,16 @@ pub trait Strategy {
 
     /// Generate one value.
     fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Candidate simplifications of a failing `value`, most aggressive
+    /// first. Every candidate must itself be a value this strategy could
+    /// have produced (in-range, length within bounds). The default — no
+    /// candidates — disables shrinking (used by `prop_map`/`prop_oneof`
+    /// compositions, which cannot invert their transforms).
+    fn shrink_candidates(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
 
     /// Transform generated values with `f`.
     fn prop_map<U, F>(self, f: F) -> Map<Self, F>
@@ -41,12 +53,18 @@ impl<T> Strategy for BoxedStrategy<T> {
     fn sample(&self, rng: &mut SmallRng) -> T {
         (**self).sample(rng)
     }
+    fn shrink_candidates(&self, value: &T) -> Vec<T> {
+        (**self).shrink_candidates(value)
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
     type Value = S::Value;
     fn sample(&self, rng: &mut SmallRng) -> S::Value {
         (**self).sample(rng)
+    }
+    fn shrink_candidates(&self, value: &S::Value) -> Vec<S::Value> {
+        (**self).shrink_candidates(value)
     }
 }
 
@@ -67,7 +85,49 @@ where
     }
 }
 
-macro_rules! impl_range_strategy {
+/// Greedy halving ladder from `v` toward `lo`: `[lo, v−d/2, v−d/4, …,
+/// v−1]` for `d = v − lo` — ascending, `v` excluded. On a monotone
+/// predicate the greedy loop walks this to the smallest failing value in
+/// `O(log d)` rounds (binary-search-like).
+macro_rules! int_shrink_ladder {
+    ($v:expr, $lo:expr, $t:ty) => {{
+        let (v, lo) = ($v as i128, $lo as i128);
+        let mut out = Vec::new();
+        let mut step = v - lo;
+        while step > 0 {
+            out.push((v - step) as $t);
+            step /= 2;
+        }
+        out
+    }};
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                rng.random_range(self.clone())
+            }
+            fn shrink_candidates(&self, value: &$t) -> Vec<$t> {
+                int_shrink_ladder!(*value, self.start, $t)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                rng.random_range(self.clone())
+            }
+            fn shrink_candidates(&self, value: &$t) -> Vec<$t> {
+                int_shrink_ladder!(*value, *self.start(), $t)
+            }
+        }
+    )*};
+}
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// Float ranges generate but do not shrink (no meaningful discrete ladder).
+macro_rules! impl_float_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for core::ops::Range<$t> {
             type Value = $t;
@@ -83,7 +143,7 @@ macro_rules! impl_range_strategy {
         }
     )*};
 }
-impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+impl_float_range_strategy!(f32, f64);
 
 /// Uniformly random booleans (`prop::bool::ANY`).
 #[derive(Clone, Copy, Debug)]
@@ -99,10 +159,15 @@ impl Strategy for BoolAny {
 /// Vector lengths accepted by [`vec`]: an exact `usize` or a `Range`.
 pub trait SizeRange {
     fn sample_len(&self, rng: &mut SmallRng) -> usize;
+    /// Smallest permitted length (shrinking never goes below it).
+    fn min_len(&self) -> usize;
 }
 
 impl SizeRange for usize {
     fn sample_len(&self, _: &mut SmallRng) -> usize {
+        *self
+    }
+    fn min_len(&self) -> usize {
         *self
     }
 }
@@ -111,11 +176,17 @@ impl SizeRange for core::ops::Range<usize> {
     fn sample_len(&self, rng: &mut SmallRng) -> usize {
         rng.random_range(self.clone())
     }
+    fn min_len(&self) -> usize {
+        self.start
+    }
 }
 
 impl SizeRange for core::ops::RangeInclusive<usize> {
     fn sample_len(&self, rng: &mut SmallRng) -> usize {
         rng.random_range(self.clone())
+    }
+    fn min_len(&self) -> usize {
+        *self.start()
     }
 }
 
@@ -129,11 +200,41 @@ pub struct VecStrategy<S, L> {
     size: L,
 }
 
-impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
     fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
         let n = self.size.sample_len(rng);
         (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+    fn shrink_candidates(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let min = self.size.min_len();
+        let n = value.len();
+        let mut out = Vec::new();
+        // Structural shrinks first (big length reductions): keep the first
+        // half, drop the last element, drop the first element.
+        if n > min {
+            let half = min.max(n / 2);
+            if half < n {
+                out.push(value[..half].to_vec());
+            }
+            if n - 1 != half {
+                out.push(value[..n - 1].to_vec());
+            }
+            out.push(value[1..].to_vec());
+        }
+        // Elementwise shrinks: each element steps down its own ladder while
+        // the rest stay fixed.
+        for (i, v) in value.iter().enumerate() {
+            for cand in self.element.shrink_candidates(v) {
+                let mut nv = value.clone();
+                nv[i] = cand;
+                out.push(nv);
+            }
+        }
+        out
     }
 }
 
@@ -184,4 +285,49 @@ impl<T> Strategy for Union<T> {
         }
         unreachable!("weights changed during sampling")
     }
+}
+
+/// The no-argument `proptest!` degenerate case.
+impl Strategy for () {
+    type Value = ();
+    fn sample(&self, _: &mut SmallRng) {}
+}
+
+// Tuples of strategies produce tuples of values, sampled left to right
+// (matching the old per-argument sampling order, so existing seeds keep
+// generating the same cases). Shrinking steps one component at a time,
+// earlier arguments first — that is what lets the `proptest!` runner
+// minimize a multi-argument failure with a single greedy loop.
+macro_rules! impl_tuple_strategy {
+    ($(($($S:ident . $idx:tt),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+)
+        where
+            $($S::Value: Clone),+
+        {
+            type Value = ($($S::Value,)+);
+            fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+            fn shrink_candidates(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink_candidates(&value.$idx) {
+                        let mut nv = value.clone();
+                        nv.$idx = cand;
+                        out.push(nv);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
 }

@@ -1,0 +1,107 @@
+//! Shrinking acceptance tests: deliberately-failing properties must report
+//! a *minimized* input, not just the random one that happened to fail.
+
+use proptest::prelude::*;
+
+fn panic_message(f: impl Fn() + std::panic::UnwindSafe) -> String {
+    // The panic hook is process-global and the harness runs tests on
+    // parallel threads: serialize the install/restore window so one test
+    // cannot capture another's silencer as "the previous hook".
+    static HOOK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _guard = HOOK_LOCK.lock().unwrap();
+    let prev = std::panic::take_hook();
+    // Silence the expected panic's default stderr backtrace chatter.
+    std::panic::set_hook(Box::new(|_| {}));
+    let err = std::panic::catch_unwind(f).expect_err("property should fail");
+    std::panic::set_hook(prev);
+    err.downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .expect("panic payload should be a string")
+}
+
+#[test]
+fn integer_failures_minimize_to_the_threshold() {
+    proptest! {
+        fn fails_from_ten(x in 0u64..1000) {
+            prop_assert!(x < 10, "x={x} too big");
+        }
+    }
+    let msg = panic_message(fails_from_ten);
+    // Greedy halving walks the ladder to the smallest failing value, 10.
+    assert!(
+        msg.contains("minimized") && msg.contains("x=10"),
+        "expected minimized x=10 in: {msg}"
+    );
+}
+
+#[test]
+fn inclusive_ranges_minimize_too() {
+    proptest! {
+        fn fails_over_100(x in 0i64..=5000) {
+            prop_assert!(x <= 100);
+        }
+    }
+    let msg = panic_message(fails_over_100);
+    assert!(msg.contains("x=101"), "expected minimized x=101 in: {msg}");
+}
+
+#[test]
+fn vec_failures_minimize_structurally_and_elementwise() {
+    proptest! {
+        fn fails_on_big_element(v in prop::collection::vec(0u32..1000, 0..20)) {
+            prop_assert!(v.iter().all(|&x| x < 50), "offender in {v:?}");
+        }
+    }
+    let msg = panic_message(fails_on_big_element);
+    // Structural chops reduce to a single offending element; the element
+    // ladder then lands exactly on the 50 threshold.
+    assert!(
+        msg.contains("minimized") && msg.contains("v=[50]"),
+        "expected minimized v=[50] in: {msg}"
+    );
+}
+
+#[test]
+fn vec_length_respects_the_size_lower_bound() {
+    proptest! {
+        fn fails_always(v in prop::collection::vec(0u8..10, 3..8) ) {
+            prop_assert!(false, "len={}", v.len());
+        }
+    }
+    let msg = panic_message(fails_always);
+    // Everything fails, so the minimum is the smallest legal shape: the
+    // 3-element all-zero vector.
+    assert!(
+        msg.contains("v=[0, 0, 0]"),
+        "expected minimized v=[0, 0, 0] in: {msg}"
+    );
+}
+
+#[test]
+fn multi_argument_failures_shrink_each_argument() {
+    proptest! {
+        fn fails_on_sum(a in 0u64..500, b in 0u64..500) {
+            prop_assert!(a + b < 100);
+        }
+    }
+    let msg = panic_message(fails_on_sum);
+    // Earlier arguments shrink first: a falls as far as it can while the
+    // pair keeps failing, then b — the greedy minimum is a=0, b=100.
+    assert!(
+        msg.contains("a=0") && msg.contains("b=100"),
+        "expected minimized a=0 b=100 in: {msg}"
+    );
+}
+
+#[test]
+fn passing_properties_are_untouched_by_shrinking_support() {
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        fn holds(x in 0u64..100, v in prop::collection::vec(0u32..10, 0..10)) {
+            prop_assert!(x < 100);
+            prop_assert!(v.len() < 10);
+        }
+    }
+    holds();
+}

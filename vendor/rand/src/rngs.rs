@@ -11,22 +11,32 @@ pub struct SmallRng {
     s: [u64; 4],
 }
 
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
+/// SplitMix64 finalizer (stateless): mixes `x` through the reference
+/// add-and-avalanche rounds. The single shared implementation in the
+/// workspace — seeding below, stream derivation (`soc-simcore`) and
+/// deterministic coordinate hashing (`soc-workload`) all call this, so the
+/// constants cannot silently diverge. Not part of upstream `rand`'s API.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+fn splitmix64_next(state: &mut u64) -> u64 {
+    let out = splitmix64(*state);
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    out
 }
 
 impl SeedableRng for SmallRng {
     fn seed_from_u64(seed: u64) -> Self {
         let mut sm = seed;
         let s = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
+            splitmix64_next(&mut sm),
+            splitmix64_next(&mut sm),
+            splitmix64_next(&mut sm),
+            splitmix64_next(&mut sm),
         ];
         SmallRng { s }
     }
