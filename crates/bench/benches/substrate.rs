@@ -140,6 +140,66 @@ fn bench_event_queue(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_record_cache(c: &mut Criterion) {
+    // The per-query protocol hot path: `qualified` over a duty/jump node's
+    // record cache. The scan backend walks and tests every record; the
+    // indexed backend cuts expired records with one binary search and
+    // prunes 16-record blocks whose componentwise-max availability cannot
+    // dominate the demand. Cache sizes bracket what bench/smoke-scale duty
+    // nodes accumulate within one TTL window.
+    use soc_overlay::{CacheBackend, RecordCache, StateRecord};
+    let mut g = c.benchmark_group("record_cache");
+    let mut rng = SmallRng::seed_from_u64(47);
+    for &n in &[64usize, 256, 1024] {
+        let mut caches = [
+            RecordCache::with_backend(CacheBackend::Scan, 600_000),
+            RecordCache::with_backend(CacheBackend::Indexed, 600_000),
+        ];
+        let mut records = Vec::new();
+        for i in 0..n {
+            let avail = ResVec::from_slice(&[
+                rng.random::<f64>() * 25.6,
+                rng.random::<f64>() * 80.0,
+                rng.random::<f64>() * 10.0,
+                rng.random::<f64>() * 240.0,
+                rng.random::<f64>() * 4096.0,
+            ]);
+            records.push(StateRecord {
+                subject: NodeId(i as u32),
+                avail,
+                stored_at: (i as u64 * 600_000) / n as u64,
+            });
+        }
+        for cache in &mut caches {
+            for &r in &records {
+                cache.insert(r);
+            }
+        }
+        // A mid-corner demand: scarce but not hopeless — a few percent of
+        // records qualify, like a λ≈0.5 duty-zone probe. `now` keeps ~half
+        // the records fresh, exercising the TTL cut too.
+        let demand = ResVec::from_slice(&[20.0, 60.0, 7.5, 180.0, 3000.0]);
+        let now = 900_000;
+        let [scan, indexed] = caches;
+        let hits = scan.qualified(&demand, now).len();
+        assert_eq!(hits, indexed.qualified(&demand, now).len());
+        for (label, cache) in [("scan", &scan), ("indexed", &indexed)] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("qualified_{label}"), n),
+                &n,
+                |b, _| {
+                    let mut buf = Vec::new();
+                    b.iter(|| {
+                        cache.qualified_into(&demand, now, &mut buf);
+                        black_box(buf.len())
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
 fn bench_psm(c: &mut Criterion) {
     let mut g = c.benchmark_group("psm");
     let cap = ResVec::from_slice(&[25.6, 80.0, 10.0, 240.0, 4096.0]);
@@ -161,6 +221,9 @@ fn bench_psm(c: &mut Criterion) {
         b.iter(|| black_box(node.allocations()))
     });
     g.bench_function("completion_prediction", |b| {
+        // Steady-state path: repeated predictions within one epoch hit the
+        // finish-time heap memo (the pre-PR-4 code rescanned tasks×dims and
+        // allocated the Eq. (1) vector on every call).
         let mut node = NodeExec::new(cap, PsmConfig::default());
         for i in 0..8 {
             node.add_task(
@@ -176,6 +239,26 @@ fn bench_psm(c: &mut Criterion) {
             );
         }
         b.iter(|| black_box(node.next_completion(0)))
+    });
+    g.bench_function("completion_rebuild", |b| {
+        // Worst-case path: every iteration admits a task (allocation
+        // change ⇒ epoch bump), so each prediction rebuilds the heap.
+        let mut node = NodeExec::new(cap, PsmConfig::default());
+        let e = ResVec::from_slice(&[2.0, 8.0, 1.0, 20.0, 256.0]);
+        let mut t = 0u64;
+        let mut id = 0u64;
+        b.iter(|| {
+            if node.n_tasks() >= 16 {
+                node.kill_all(t);
+            }
+            t += 1;
+            node.add_task(
+                t,
+                RunningTask::with_duration(TaskId(id), e, 3000.0, 3, t, t),
+            );
+            id += 1;
+            black_box(node.next_completion(t))
+        })
     });
     g.bench_function("churn_join_leave", |b| {
         let mut rng = SmallRng::seed_from_u64(45);
@@ -197,6 +280,7 @@ fn bench_psm(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_routing, bench_inscan_rq, bench_diffusion, bench_event_queue, bench_psm
+    targets = bench_routing, bench_inscan_rq, bench_diffusion, bench_event_queue,
+        bench_record_cache, bench_psm
 }
 criterion_main!(benches);

@@ -7,8 +7,8 @@
 //! repro fig8              # Fig. 8: HID-CAN under churn
 //! repro table3            # Table III: HID-CAN scalability
 //! repro all               # everything above
-//! repro perf              # serial/parallel x heap/calendar timing grid
-//!                         #   (writes BENCH_PR2.json, see --out)
+//! repro perf              # serial/parallel x heap/calendar x scan/indexed
+//!                         #   timing grid (writes BENCH_PR2.json, see --out)
 //! repro diag              # λ=0.5 rejection split (oracle on), baseline vs
 //!                         #   search-corner jitter (--jitter)
 //! repro scenario FILE     # run a scenario file (see scenarios/ gallery);
@@ -233,7 +233,7 @@ fn run_table3(scale: Scale, seed: u64) -> Sections {
 
 fn run_perf(args: &Args, seed: u64) {
     println!(
-        "== perf: sweep parallelism x event-queue backend ({} scale) ==",
+        "== perf: sweep parallelism x event-queue backend x cache backend ({} scale) ==",
         args.scale_label
     );
     let rep = perf::perf_compare(args.scale, args.scale_label, seed, args.reps);

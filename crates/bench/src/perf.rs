@@ -1,14 +1,16 @@
-//! `repro perf`: wall-clock A/B harness for the two PR-2 optimisations.
+//! `repro perf`: wall-clock A/B harness for the runner optimisations.
 //!
 //! Times the Table III and Fig. 4 sweeps under every combination of
-//! {serial, parallel} × {heap, calendar} by flipping the `SOC_BENCH_THREADS`
-//! and `SOC_SIM_QUEUE` environment variables (both are re-read per sweep /
-//! per queue construction precisely so one process can compare them), and
-//! cross-checks that all four configurations produce **bitwise identical**
-//! reports — the optimisations must never change simulation results.
+//! {serial, parallel} × {heap, calendar} × {scan, indexed} by flipping the
+//! `SOC_BENCH_THREADS`, `SOC_SIM_QUEUE` and `SOC_CACHE` environment
+//! variables (all re-read per sweep / per queue or cache construction
+//! precisely so one process can compare them), and cross-checks that all
+//! configurations produce **bitwise identical** reports — the optimisations
+//! must never change simulation results.
 //!
-//! The result is written as `BENCH_PR2.json`, the first point of the
-//! repo's performance trajectory.
+//! The result is written as `BENCH_PR2.json` (the name is the repo's
+//! perf-trajectory artifact; later PRs append axes, not files) through the
+//! shared `soc_sim::json` writer.
 
 use crate::{fig4, sweep, table3, Scale};
 use std::fmt::Write as _;
@@ -23,6 +25,8 @@ pub struct PerfRow {
     pub mode: &'static str,
     /// `heap` or `calendar`.
     pub queue: &'static str,
+    /// `scan` or `indexed` record caches.
+    pub cache: &'static str,
     /// Worker threads the sweep engine used.
     pub threads: usize,
     /// Wall-clock milliseconds.
@@ -68,17 +72,21 @@ fn env_guard(key: &'static str, value: Option<String>) -> impl Drop {
     Restore { key, prev }
 }
 
-/// Time one `(mode, queue)` configuration once; returns the two rows plus
-/// the concatenated fingerprints of every report produced.
-fn run_config(
-    scale: Scale,
-    seed: u64,
+/// One grid configuration.
+#[derive(Clone, Copy, Debug)]
+struct Config {
     mode: &'static str,
     threads: usize,
     queue: &'static str,
-) -> (Vec<PerfRow>, String) {
-    let _t = env_guard("SOC_BENCH_THREADS", Some(threads.to_string()));
-    let _q = env_guard("SOC_SIM_QUEUE", Some(queue.to_string()));
+    cache: &'static str,
+}
+
+/// Time one configuration once; returns the two rows plus the concatenated
+/// fingerprints of every report produced.
+fn run_config(scale: Scale, seed: u64, cfg: Config) -> (Vec<PerfRow>, String) {
+    let _t = env_guard("SOC_BENCH_THREADS", Some(cfg.threads.to_string()));
+    let _q = env_guard("SOC_SIM_QUEUE", Some(cfg.queue.to_string()));
+    let _c = env_guard("SOC_CACHE", Some(cfg.cache.to_string()));
     let mut rows = Vec::new();
     let mut prints = String::new();
 
@@ -86,9 +94,10 @@ fn run_config(
     let t3 = table3(scale, seed);
     rows.push(PerfRow {
         sweep: "table3",
-        mode,
-        queue,
-        threads,
+        mode: cfg.mode,
+        queue: cfg.queue,
+        cache: cfg.cache,
+        threads: cfg.threads,
         wall_ms: start.elapsed().as_millis(),
         cell_ms: t3.iter().map(|r| r.wall_ms).collect(),
     });
@@ -100,9 +109,10 @@ fn run_config(
     let f4 = fig4(scale, seed);
     rows.push(PerfRow {
         sweep: "fig4",
-        mode,
-        queue,
-        threads,
+        mode: cfg.mode,
+        queue: cfg.queue,
+        cache: cfg.cache,
+        threads: cfg.threads,
         wall_ms: start.elapsed().as_millis(),
         cell_ms: f4
             .iter()
@@ -117,31 +127,73 @@ fn run_config(
     (rows, prints)
 }
 
-/// Run the full 2×2 comparison grid, `reps` times interleaved; each row
-/// keeps its best (minimum) wall time, the standard noise-robust estimator
-/// for shared runners.
+/// Run the comparison grid, `reps` times interleaved; each row keeps its
+/// best (minimum) wall time, the standard noise-robust estimator for
+/// shared runners.
+///
+/// The grid is the serial/parallel × heap/calendar square at the default
+/// indexed cache, plus scan-cache counterpoints on the two serial corners —
+/// enough to isolate each axis (queue, cache, threads) without paying for
+/// the full 2×2×2 cube on every CI run.
 pub fn perf_compare(scale: Scale, scale_label: &'static str, seed: u64, reps: usize) -> PerfReport {
     let parallel_threads = sweep::thread_count();
-    let grid: [(&'static str, usize, &'static str); 4] = [
-        ("serial", 1, "heap"),
-        ("serial", 1, "calendar"),
-        ("parallel", parallel_threads, "heap"),
-        ("parallel", parallel_threads, "calendar"),
+    let grid: [Config; 6] = [
+        Config {
+            mode: "serial",
+            threads: 1,
+            queue: "heap",
+            cache: "scan",
+        },
+        Config {
+            mode: "serial",
+            threads: 1,
+            queue: "heap",
+            cache: "indexed",
+        },
+        Config {
+            mode: "serial",
+            threads: 1,
+            queue: "calendar",
+            cache: "scan",
+        },
+        Config {
+            mode: "serial",
+            threads: 1,
+            queue: "calendar",
+            cache: "indexed",
+        },
+        Config {
+            mode: "parallel",
+            threads: parallel_threads,
+            queue: "calendar",
+            cache: "scan",
+        },
+        Config {
+            mode: "parallel",
+            threads: parallel_threads,
+            queue: "calendar",
+            cache: "indexed",
+        },
     ];
     let mut rows: Vec<PerfRow> = Vec::new();
     let mut fingerprints: Vec<String> = Vec::new();
     for rep in 0..reps.max(1) {
         // Interleaving the grid across reps (instead of repeating each
         // config back-to-back) spreads slow-machine phases fairly.
-        for (mode, threads, queue) in grid {
-            eprintln!("perf: rep {rep}: timing {mode}+{queue} (threads={threads}) ...");
-            let (timed, fp) = run_config(scale, seed, mode, threads, queue);
+        for cfg in grid {
+            eprintln!(
+                "perf: rep {rep}: timing {}+{}+{} (threads={}) ...",
+                cfg.mode, cfg.queue, cfg.cache, cfg.threads
+            );
+            let (timed, fp) = run_config(scale, seed, cfg);
             fingerprints.push(fp);
             for t in timed {
-                match rows
-                    .iter_mut()
-                    .find(|r| r.sweep == t.sweep && r.mode == t.mode && r.queue == t.queue)
-                {
+                match rows.iter_mut().find(|r| {
+                    r.sweep == t.sweep
+                        && r.mode == t.mode
+                        && r.queue == t.queue
+                        && r.cache == t.cache
+                }) {
                     Some(r) => {
                         if t.wall_ms < r.wall_ms {
                             r.wall_ms = t.wall_ms;
@@ -164,36 +216,51 @@ pub fn perf_compare(scale: Scale, scale_label: &'static str, seed: u64, reps: us
 }
 
 impl PerfReport {
-    fn wall(&self, sweep: &str, mode: &str, queue: &str) -> Option<u128> {
+    fn wall(&self, sweep: &str, mode: &str, queue: &str, cache: &str) -> Option<u128> {
         self.rows
             .iter()
-            .find(|r| r.sweep == sweep && r.mode == mode && r.queue == queue)
+            .find(|r| r.sweep == sweep && r.mode == mode && r.queue == queue && r.cache == cache)
             .map(|r| r.wall_ms)
     }
 
-    /// `baseline / optimised` for one sweep (≥ 1 means the optimised
-    /// configuration is faster).
+    /// `baseline / optimised` for one sweep (≥ 1 means the fully optimised
+    /// configuration — parallel, calendar queue, indexed caches — is
+    /// faster than serial+heap+scan).
     pub fn speedup(&self, sweep: &str) -> Option<f64> {
-        let base = self.wall(sweep, "serial", "heap")?;
-        let opt = self.wall(sweep, "parallel", "calendar")?;
+        let base = self.wall(sweep, "serial", "heap", "scan")?;
+        let opt = self.wall(sweep, "parallel", "calendar", "indexed")?;
         Some(base as f64 / (opt.max(1)) as f64)
+    }
+
+    /// Cache-axis speedup in isolation (serial, calendar queue):
+    /// `scan / indexed`.
+    pub fn cache_speedup(&self, sweep: &str) -> Option<f64> {
+        let scan = self.wall(sweep, "serial", "calendar", "scan")?;
+        let indexed = self.wall(sweep, "serial", "calendar", "indexed")?;
+        Some(scan as f64 / (indexed.max(1)) as f64)
     }
 
     /// Human-readable comparison table.
     pub fn render(&self) -> String {
-        let mut out = String::from("sweep\tmode\tqueue\tthreads\twall_ms\n");
+        let mut out = String::from("sweep\tmode\tqueue\tcache\tthreads\twall_ms\n");
         for r in &self.rows {
             let _ = writeln!(
                 out,
-                "{}\t{}\t{}\t{}\t{}",
-                r.sweep, r.mode, r.queue, r.threads, r.wall_ms
+                "{}\t{}\t{}\t{}\t{}\t{}",
+                r.sweep, r.mode, r.queue, r.cache, r.threads, r.wall_ms
             );
         }
         for sweep in ["table3", "fig4"] {
             if let Some(s) = self.speedup(sweep) {
                 let _ = writeln!(
                     out,
-                    "# {sweep}: parallel+calendar is {s:.2}x vs serial+heap"
+                    "# {sweep}: parallel+calendar+indexed is {s:.2}x vs serial+heap+scan"
+                );
+            }
+            if let Some(s) = self.cache_speedup(sweep) {
+                let _ = writeln!(
+                    out,
+                    "# {sweep}: indexed cache alone is {s:.2}x vs scan (serial+calendar)"
                 );
             }
         }
@@ -214,29 +281,37 @@ impl PerfReport {
                 .str("sweep", r.sweep)
                 .str("mode", r.mode)
                 .str("queue", r.queue)
+                .str("cache", r.cache)
                 .u64("threads", r.threads as u64)
                 .u64("wall_ms", r.wall_ms as u64)
                 .raw("cell_ms", &array(r.cell_ms.iter().map(|c| c.to_string())))
                 .finish()
         }));
-        let speedup = |sweep: &str| {
-            self.speedup(sweep)
-                .map(|s| format!("{s:.3}"))
+        let speedup = |v: Option<f64>| {
+            v.map(|s| format!("{s:.3}"))
                 .unwrap_or_else(|| "null".into())
         };
         let mut out = Obj::new()
-            .str("bench", "PR2 sweep+queue perf")
+            .str("bench", "sweep+queue+cache perf grid")
             .str("scale", self.scale)
             .u64("seed", self.seed)
             .u64("parallel_threads", self.parallel_threads as u64)
             .bool("deterministic", self.deterministic)
             .raw(
-                "speedup_table3_parallel_calendar_vs_serial_heap",
-                &speedup("table3"),
+                "speedup_table3_optimised_vs_serial_heap_scan",
+                &speedup(self.speedup("table3")),
             )
             .raw(
-                "speedup_fig4_parallel_calendar_vs_serial_heap",
-                &speedup("fig4"),
+                "speedup_fig4_optimised_vs_serial_heap_scan",
+                &speedup(self.speedup("fig4")),
+            )
+            .raw(
+                "speedup_table3_indexed_cache_vs_scan",
+                &speedup(self.cache_speedup("table3")),
+            )
+            .raw(
+                "speedup_fig4_indexed_cache_vs_scan",
+                &speedup(self.cache_speedup("fig4")),
             )
             .raw("rows", &rows)
             .finish();
@@ -260,29 +335,53 @@ mod tests {
                     sweep: "table3",
                     mode: "serial",
                     queue: "heap",
+                    cache: "scan",
                     threads: 1,
                     wall_ms: 100,
                     cell_ms: vec![20, 30, 50],
                 },
                 PerfRow {
                     sweep: "table3",
+                    mode: "serial",
+                    queue: "calendar",
+                    cache: "scan",
+                    threads: 1,
+                    wall_ms: 80,
+                    cell_ms: vec![15, 25, 40],
+                },
+                PerfRow {
+                    sweep: "table3",
+                    mode: "serial",
+                    queue: "calendar",
+                    cache: "indexed",
+                    threads: 1,
+                    wall_ms: 40,
+                    cell_ms: vec![8, 12, 20],
+                },
+                PerfRow {
+                    sweep: "table3",
                     mode: "parallel",
                     queue: "calendar",
+                    cache: "indexed",
                     threads: 4,
                     wall_ms: 25,
-                    cell_ms: vec![20, 30, 50],
+                    cell_ms: vec![8, 12, 20],
                 },
             ],
             deterministic: true,
         };
         assert_eq!(rep.speedup("table3"), Some(4.0));
+        assert_eq!(rep.cache_speedup("table3"), Some(2.0));
         let j = rep.to_json();
         assert!(j.contains("\"deterministic\":true"));
+        assert!(j.contains("\"cache\":\"indexed\""));
         assert!(j.contains("\"wall_ms\":25"));
         assert!(j.contains("\"cell_ms\":[20,30,50]"));
+        assert!(j.contains("\"speedup_table3_indexed_cache_vs_scan\":2.000"));
         assert!(j.trim_end().ends_with('}'));
         let t = rep.render();
         assert!(t.contains("4.00x"));
+        assert!(t.contains("2.00x"));
     }
 
     #[test]

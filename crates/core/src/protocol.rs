@@ -55,6 +55,9 @@ pub struct PidCan {
     overlay_dim: usize,
     route_budget: u32,
     diag: PidDiag,
+    /// Recycled `FoundList` buffer: `qualified_into` fills it on every
+    /// duty/jump cache probe instead of allocating a fresh Vec per visit.
+    found_buf: Vec<StateRecord>,
 }
 
 impl PidCan {
@@ -79,6 +82,7 @@ impl PidCan {
             overlay_dim: dim,
             route_budget,
             diag: PidDiag::default(),
+            found_buf: Vec::new(),
         }
     }
 
@@ -365,7 +369,8 @@ impl PidCan {
         // Optionally search the duty node's own cache first (best-fit
         // records live in the zone enclosing the demand vector).
         if self.cfg.check_duty_cache {
-            let found = self.caches[duty.idx()].qualified(&demand, ctx.now);
+            let mut found = std::mem::take(&mut self.found_buf);
+            self.caches[duty.idx()].qualified_into(&demand, ctx.now, &mut found);
             if !found.is_empty() {
                 delta = delta.saturating_sub(found.len());
                 let cands = found
@@ -377,6 +382,7 @@ impl PidCan {
                     .collect();
                 self.notify_found(ctx, duty, qid, requester, cands);
             }
+            self.found_buf = found;
         }
         if delta == 0 {
             self.finish_query(ctx, duty, qid, requester);
@@ -567,11 +573,7 @@ impl DiscoveryOverlay for PidCan {
     }
 
     fn diag_record_match(&self, demand: &ResVec, now: soc_types::SimMillis) -> Option<bool> {
-        Some(
-            self.caches
-                .iter()
-                .any(|c| !c.qualified(demand, now).is_empty()),
-        )
+        Some(self.caches.iter().any(|c| c.has_qualified(demand, now)))
     }
 
     fn on_start(&mut self, ctx: &mut Ctx<'_, PidMsg>) {
@@ -687,18 +689,20 @@ impl DiscoveryOverlay for PidCan {
                 budget,
             } => {
                 // Algorithm 5: search the local cache.
-                let found = self.caches[node.idx()].qualified(&demand, ctx.now);
+                let mut found = std::mem::take(&mut self.found_buf);
+                self.caches[node.idx()].qualified_into(&demand, ctx.now, &mut found);
                 self.diag.jump_visits += 1;
-                if !found.is_empty() {
+                let cands: Vec<Candidate> = found
+                    .iter()
+                    .map(|r| Candidate {
+                        node: r.subject,
+                        avail: r.avail,
+                    })
+                    .collect();
+                self.found_buf = found;
+                if !cands.is_empty() {
                     self.diag.jump_hits += 1;
-                    delta = delta.saturating_sub(found.len());
-                    let cands = found
-                        .iter()
-                        .map(|r| Candidate {
-                            node: r.subject,
-                            avail: r.avail,
-                        })
-                        .collect();
+                    delta = delta.saturating_sub(cands.len());
                     self.notify_found(ctx, node, qid, requester, cands);
                 } else if budget > 0 {
                     // §III-B1 relay: extend the chain with this index

@@ -137,6 +137,9 @@ pub struct KhdnCan {
     caches: Vec<RecordCache>,
     tracks: HashMap<QueryId, QueryTrack>,
     route_budget: u32,
+    /// Recycled buffer for cache probes (one `qualified_into` per duty or
+    /// sweep visit; no per-visit Vec).
+    found_buf: Vec<StateRecord>,
 }
 
 impl KhdnCan {
@@ -147,7 +150,25 @@ impl KhdnCan {
             caches: vec![RecordCache::new(cfg.record_ttl_ms); max_nodes],
             tracks: HashMap::new(),
             route_budget: 4 * (n.max(2) as f64).log2().ceil() as u32 + 16,
+            found_buf: Vec::new(),
         }
+    }
+
+    /// Probe `node`'s cache for `demand`, returning the qualified records
+    /// as `Candidate`s (empty Vec allocates nothing) via the recycled
+    /// buffer.
+    fn probe_cache(&mut self, node: NodeId, demand: &ResVec, now: SimMillis) -> Vec<Candidate> {
+        let mut found = std::mem::take(&mut self.found_buf);
+        self.caches[node.idx()].qualified_into(demand, now, &mut found);
+        let cands = found
+            .iter()
+            .map(|r| Candidate {
+                node: r.subject,
+                avail: r.avail,
+            })
+            .collect();
+        self.found_buf = found;
+        cands
     }
 
     /// A node's record cache (diagnostics).
@@ -238,16 +259,9 @@ impl KhdnCan {
         demand: ResVec,
         mut delta: usize,
     ) {
-        let found = self.caches[node.idx()].qualified(&demand, ctx.now);
-        if !found.is_empty() {
-            delta = delta.saturating_sub(found.len());
-            let cands = found
-                .iter()
-                .map(|r| Candidate {
-                    node: r.subject,
-                    avail: r.avail,
-                })
-                .collect();
+        let cands = self.probe_cache(node, &demand, ctx.now);
+        if !cands.is_empty() {
+            delta = delta.saturating_sub(cands.len());
             self.notify_found(ctx, node, qid, requester, cands);
         }
         if delta == 0 {
@@ -303,16 +317,9 @@ impl KhdnCan {
         mut delta: usize,
         hops_left: usize,
     ) {
-        let found = self.caches[node.idx()].qualified(&demand, ctx.now);
-        if !found.is_empty() {
-            delta = delta.saturating_sub(found.len());
-            let cands = found
-                .iter()
-                .map(|r| Candidate {
-                    node: r.subject,
-                    avail: r.avail,
-                })
-                .collect();
+        let cands = self.probe_cache(node, &demand, ctx.now);
+        if !cands.is_empty() {
+            delta = delta.saturating_sub(cands.len());
             self.notify_found(ctx, node, qid, requester, cands);
         }
         if delta == 0 || hops_left == 0 {

@@ -18,4 +18,4 @@ pub mod testkit;
 pub use api::{
     Candidate, Ctx, DiscoveryOverlay, Effect, HostInfo, QueryRequest, QueryVerdict, TimerKind,
 };
-pub use records::{RecordCache, StateRecord};
+pub use records::{CacheBackend, RecordCache, StateRecord};

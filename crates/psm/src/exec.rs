@@ -134,6 +134,37 @@ pub struct FinishedTask {
     pub finished_at: SimMillis,
 }
 
+/// Cached completion prediction: the finish-time min-heap plus the
+/// predicted next completion, both valid for exactly one epoch.
+///
+/// Under proportional sharing every allocation-changing event
+/// (admit/complete/kill/drain) re-rates *all* resident tasks, so the heap
+/// cannot be repaired incrementally — it is rebuilt lazily on the first
+/// prediction after an epoch bump and then answers every further
+/// [`NodeExec::next_completion`] in O(1) (absolute finish times are
+/// invariant while rates are constant).
+#[derive(Clone, Debug)]
+struct CompletionHeap {
+    /// Epoch the heap was built under (`u64::MAX` = never built).
+    epoch: u64,
+    /// Min-heap of `(finish_at, task admission order)` over the resident
+    /// tasks that do finish (starved tasks are excluded at build time).
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(SimMillis, usize)>>,
+    /// The memoized answer: earliest predicted completion, `None` when the
+    /// node is idle or every task is starved.
+    next: Option<SimMillis>,
+}
+
+impl CompletionHeap {
+    fn new() -> Self {
+        CompletionHeap {
+            epoch: u64::MAX,
+            heap: std::collections::BinaryHeap::new(),
+            next: None,
+        }
+    }
+}
+
 /// PSM execution state of one node.
 #[derive(Clone, Debug)]
 pub struct NodeExec {
@@ -142,6 +173,7 @@ pub struct NodeExec {
     tasks: Vec<RunningTask>,
     last_integrated: SimMillis,
     epoch: u64,
+    pred: CompletionHeap,
 }
 
 impl NodeExec {
@@ -160,6 +192,7 @@ impl NodeExec {
             tasks: Vec::new(),
             last_integrated: 0,
             epoch: 0,
+            pred: CompletionHeap::new(),
         }
     }
 
@@ -248,6 +281,20 @@ impl NodeExec {
             .collect()
     }
 
+    /// Equation (1) allocation of one task on one dimension, given the
+    /// precomputed effective capacity and aggregate load. Inlined on the
+    /// integration/prediction hot paths so neither allocates the
+    /// [`Self::allocations`] vector per event; the expression matches
+    /// `allocations()` exactly, keeping the arithmetic bit-identical.
+    #[inline]
+    fn rate(t: &RunningTask, c: &ResVec, l: &ResVec, d: usize) -> f64 {
+        if l[d] > 0.0 {
+            t.expect[d] / l[d] * c[d]
+        } else {
+            0.0
+        }
+    }
+
     /// Advance all remaining-work counters to `now` under the current
     /// (constant) allocation rates.
     fn integrate(&mut self, now: SimMillis) {
@@ -257,10 +304,12 @@ impl NodeExec {
         if dt == 0.0 || self.tasks.is_empty() {
             return;
         }
-        let allocs = self.allocations();
-        for (t, r) in self.tasks.iter_mut().zip(&allocs) {
+        let c = self.effective_capacity();
+        let l = self.load();
+        for t in &mut self.tasks {
             for d in 0..self.config.perf_dims {
-                t.remaining[d] = (t.remaining[d] - r[d] * dt).max(0.0);
+                let r = Self::rate(t, &c, &l, d);
+                t.remaining[d] = (t.remaining[d] - r * dt).max(0.0);
             }
         }
     }
@@ -301,39 +350,59 @@ impl NodeExec {
 
     /// Predict the absolute time of the next task completion under current
     /// rates, or `None` when idle. Valid until the epoch changes.
+    ///
+    /// Incremental: the first call after an allocation-changing event
+    /// (admit/complete/kill/drain — anything that bumps the epoch) rebuilds
+    /// the per-task finish-time min-heap in one pass; every further call in
+    /// the same epoch peeks it in O(1). Absolute finish times do not drift
+    /// while rates are constant, so the memo needs no time parameter — the
+    /// only exception is a prediction already at-or-behind `now` (the
+    /// residual-epsilon case, where the completion event fired but the work
+    /// was not yet below the `is_done` threshold), which recomputes so the
+    /// caller always observes forward progress.
     pub fn next_completion(&mut self, now: SimMillis) -> Option<SimMillis> {
+        if self.pred.epoch == self.epoch {
+            match self.pred.next {
+                None => return None,
+                Some(at) if at > now => return Some(at),
+                _ => {} // stale "due now" prediction: recompute below
+            }
+        }
         self.integrate(now);
+        self.pred.epoch = self.epoch;
+        self.pred.heap.clear();
         if self.tasks.is_empty() {
+            self.pred.next = None;
             return None;
         }
-        let allocs = self.allocations();
-        let mut best: Option<f64> = None;
-        for (t, r) in self.tasks.iter().zip(&allocs) {
+        let c = self.effective_capacity();
+        let l = self.load();
+        for (i, t) in self.tasks.iter().enumerate() {
             // A task finishes when its slowest dimension drains.
             let mut finish_s: f64 = 0.0;
+            let mut starved = false;
             for d in 0..self.config.perf_dims {
                 if t.remaining[d] <= 1e-9 {
                     continue;
                 }
-                if r[d] <= 0.0 {
-                    finish_s = f64::INFINITY; // starved: never finishes
+                let r = Self::rate(t, &c, &l, d);
+                if r <= 0.0 {
+                    starved = true; // never finishes
                     break;
                 }
-                finish_s = finish_s.max(t.remaining[d] / r[d]);
+                finish_s = finish_s.max(t.remaining[d] / r);
             }
-            best = Some(match best {
-                None => finish_s,
-                Some(b) => b.min(finish_s),
-            });
+            if !starved {
+                // Round up so the event fires at-or-after true completion;
+                // the residual work at the event is ≤ rate × 1 ms and is
+                // absorbed by the is_done epsilon via one extra
+                // integration step.
+                let at = now + (finish_s * 1_000.0).ceil() as SimMillis;
+                self.pred.heap.push(std::cmp::Reverse((at, i)));
+            }
         }
-        let dt = best?;
-        if dt.is_infinite() {
-            return None;
-        }
-        // Round up so the event fires at-or-after true completion; the
-        // residual work at the event is ≤ rate × 1 ms and is absorbed by the
-        // is_done epsilon via one extra integration step.
-        Some(now + (dt * 1_000.0).ceil() as SimMillis)
+        self.pred.next = self.pred.heap.peek().map(|r| r.0 .0);
+        self.pred.next
     }
 
     /// Kill every resident task (node churned away). Returns their ids.
@@ -579,6 +648,57 @@ mod tests {
         assert_eq!(node.effective_capacity()[0], 0.0);
         assert_eq!(node.availability()[0], 0.0);
         assert_eq!(node.next_completion(0), None);
+    }
+
+    #[test]
+    fn prediction_is_memoized_within_an_epoch() {
+        let mut node = NodeExec::new(v(&[10.0]), PsmConfig::bare(1));
+        node.add_task(
+            0,
+            RunningTask::with_duration(TaskId(0), v(&[5.0]), 100.0, 1, 0, 0),
+        );
+        let at = node.next_completion(0).unwrap();
+        // Absolute finish times are invariant while rates are constant:
+        // later queries in the same epoch return the identical instant.
+        assert_eq!(node.next_completion(10_000), Some(at));
+        assert_eq!(node.next_completion(at - 1), Some(at));
+        // An allocation-changing event invalidates the memo.
+        node.add_task(
+            at - 1,
+            RunningTask::with_duration(TaskId(1), v(&[5.0]), 100.0, 1, 0, at - 1),
+        );
+        let at2 = node.next_completion(at - 1).unwrap();
+        assert!(at2 > at, "sharing must push the finish out: {at2} vs {at}");
+    }
+
+    #[test]
+    fn stale_due_now_prediction_recomputes_forward() {
+        // If the caller re-queries at (or past) the predicted instant
+        // without the epoch moving, the memo must not pin the clock: the
+        // recomputed prediction lies strictly in the future.
+        let mut node = NodeExec::new(v(&[10.0]), PsmConfig::bare(1));
+        node.add_task(
+            0,
+            RunningTask::with_duration(TaskId(0), v(&[5.0]), 100.0, 1, 0, 0),
+        );
+        let at = node.next_completion(0).unwrap();
+        let again = node.next_completion(at).unwrap();
+        assert!(again >= at, "prediction went backwards: {again} < {at}");
+        // The residual at `at` is below the is_done epsilon, so the
+        // recomputed prediction is "due immediately", not pinned stale.
+        assert_eq!(again, at);
+    }
+
+    #[test]
+    fn idle_prediction_memo_survives_queries() {
+        let mut node = NodeExec::new(v(&[10.0]), PsmConfig::bare(1));
+        assert_eq!(node.next_completion(0), None);
+        assert_eq!(node.next_completion(99_000), None);
+        node.add_task(
+            100_000,
+            RunningTask::with_duration(TaskId(0), v(&[10.0]), 10.0, 1, 100_000, 100_000),
+        );
+        assert_eq!(node.next_completion(100_000), Some(110_000));
     }
 
     #[test]

@@ -27,6 +27,15 @@ pub struct RunReport {
     /// Checkpoint-recovered resubmissions after churn kills (0 unless
     /// `Scenario::checkpointing`).
     pub checkpoint_resubmits: u64,
+    /// `Ev::Completion` events actually enqueued (after the equal-prediction
+    /// dedup memo).
+    pub completion_scheduled: u64,
+    /// Completion schedulings skipped because the new prediction matched
+    /// the already-queued event (the epoch-aware memo re-validated it).
+    pub completion_dedup_skips: u64,
+    /// Stale completion events popped and discarded (superseded
+    /// predictions, dead/rejoined nodes). Bounded by `completion_scheduled`.
+    pub completion_dead_pops: u64,
     /// Tasks satisfied by the local scheduler (never queried the overlay).
     pub local_generated: u64,
     /// Locally-run tasks that finished.
@@ -109,7 +118,7 @@ impl RunReport {
         let _ = write!(out, "{}|{}|", self.label, self.scenario);
         let _ = write!(
             out,
-            "g{};f{};x{};k{};r{};c{};lg{};lf{};m{};|",
+            "g{};f{};x{};k{};r{};c{};lg{};lf{};m{};cs{};cd{};cp{};|",
             self.generated,
             self.finished,
             self.failed,
@@ -119,6 +128,9 @@ impl RunReport {
             self.local_generated,
             self.local_finished,
             self.msg_total,
+            self.completion_scheduled,
+            self.completion_dedup_skips,
+            self.completion_dead_pops,
         );
         let _ = write!(
             out,
@@ -184,6 +196,9 @@ impl RunReport {
             .u64("killed", self.killed)
             .u64("rejected", self.rejected)
             .u64("checkpoint_resubmits", self.checkpoint_resubmits)
+            .u64("completion_scheduled", self.completion_scheduled)
+            .u64("completion_dedup_skips", self.completion_dedup_skips)
+            .u64("completion_dead_pops", self.completion_dead_pops)
             .u64("local_generated", self.local_generated)
             .u64("local_finished", self.local_finished)
             .opt_u64("oracle_matchable", self.oracle_matchable)
@@ -227,6 +242,9 @@ mod tests {
             killed: 0,
             rejected: 0,
             checkpoint_resubmits: 0,
+            completion_scheduled: 70,
+            completion_dedup_skips: 2,
+            completion_dead_pops: 9,
             local_generated: 40,
             local_finished: 30,
             oracle_matchable: None,

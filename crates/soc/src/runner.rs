@@ -109,6 +109,16 @@ struct Sim<'s, P: DiscoveryOverlay> {
     fx_next: Vec<Effect<P::Msg>>,
     expected_s: Vec<f64>,
     is_local: Vec<bool>,
+    /// Per-node completion-event memo: the `(fire time, epoch tag)` of the
+    /// single scheduled `Ev::Completion` this node considers live. A popped
+    /// completion that does not match is stale (its prediction was
+    /// superseded) and is discarded in O(1); a new prediction equal to the
+    /// already-scheduled fire time re-validates the queued event instead of
+    /// enqueueing a duplicate.
+    comp_sched: Vec<Option<(SimMillis, u64)>>,
+    comp_scheduled: u64,
+    comp_dedup_skips: u64,
+    comp_dead_pops: u64,
     checkpoint_resubmits: u64,
     oracle_matchable: u64,
     oracle_match_sum: u64,
@@ -196,6 +206,10 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
             fx_next: Vec::new(),
             expected_s: Vec::new(),
             is_local: Vec::new(),
+            comp_sched: vec![None; max_nodes],
+            comp_scheduled: 0,
+            comp_dedup_skips: 0,
+            comp_dead_pops: 0,
             checkpoint_resubmits: 0,
             oracle_matchable: 0,
             oracle_match_sum: 0,
@@ -449,20 +463,42 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
     fn schedule_completion(&mut self, node: NodeId) {
         let now = self.queue.now();
         let exec = &mut self.hosts.execs[node.idx()];
-        if let Some(at) = exec.next_completion(now) {
-            let epoch = exec.epoch();
-            self.queue.schedule_at(at, Ev::Completion { node, epoch });
+        match exec.next_completion(now) {
+            Some(at) => {
+                let epoch = exec.epoch();
+                match self.comp_sched[node.idx()] {
+                    // Epoch-aware memo: the queued event already fires at
+                    // the newly predicted instant — keep it (with its old
+                    // epoch tag, which the memo vouches for) instead of
+                    // orphaning it and enqueueing a duplicate.
+                    Some((sched_at, _)) if sched_at == at => {
+                        self.comp_dedup_skips += 1;
+                    }
+                    _ => {
+                        self.comp_sched[node.idx()] = Some((at, epoch));
+                        self.comp_scheduled += 1;
+                        self.queue.schedule_at(at, Ev::Completion { node, epoch });
+                    }
+                }
+            }
+            // Idle/starved: whatever is still queued is now stale.
+            None => self.comp_sched[node.idx()] = None,
         }
     }
 
     fn on_completion(&mut self, node: NodeId, epoch: u64) {
-        if !self.hosts.alive[node.idx()] {
+        let now = self.queue.now();
+        // The epoch guard: only the memoized live event — matched by fire
+        // time *and* the epoch tag it was enqueued under — may collect.
+        // Everything else is a superseded prediction (or a dead/rejoined
+        // node's leftover) and is dropped in O(1).
+        let live =
+            self.hosts.alive[node.idx()] && self.comp_sched[node.idx()] == Some((now, epoch));
+        if !live {
+            self.comp_dead_pops += 1;
             return;
         }
-        if self.hosts.execs[node.idx()].epoch() != epoch {
-            return; // stale prediction
-        }
-        let now = self.queue.now();
+        self.comp_sched[node.idx()] = None;
         let finished = self.hosts.execs[node.idx()].collect_finished(now);
         for f in finished {
             if self.is_local[f.id.idx()] {
@@ -577,6 +613,10 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
         // work to the overlay. Tasks the departed node ran for itself have
         // no surviving owner to resubmit them, so they die either way.
         let drained = self.hosts.execs[victim.idx()].drain_tasks(now);
+        // Its scheduled completion (if any) dies with it; clearing the memo
+        // also stops a later incarnation of the id from matching the
+        // leftover event through an epoch collision.
+        self.comp_sched[victim.idx()] = None;
         for t in drained {
             if self.is_local[t.id.idx()] {
                 self.tracker.task_local_killed();
@@ -642,6 +682,7 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
         // Fresh machine: new capacity, idle scheduler.
         let cap = self.source.node_capacity(&mut self.rng_caps);
         self.hosts.execs[newcomer.idx()] = NodeExec::new(cap, PsmConfig::default());
+        self.comp_sched[newcomer.idx()] = None;
         self.live_add(newcomer);
         self.with_proto(|p, ctx| p.on_node_joined(ctx, newcomer));
         self.with_proto(|p, ctx| p.on_zones_reassigned(ctx, &[splitter]));
@@ -734,6 +775,9 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
             killed: self.tracker.killed(),
             rejected: self.tracker.rejected(),
             checkpoint_resubmits: self.checkpoint_resubmits,
+            completion_scheduled: self.comp_scheduled,
+            completion_dedup_skips: self.comp_dedup_skips,
+            completion_dead_pops: self.comp_dead_pops,
             local_generated: self.tracker.local_generated(),
             local_finished: self.tracker.local_finished(),
             oracle_matchable: if self.sc.oracle {
@@ -886,6 +930,43 @@ mod tests {
             r.finished + r.failed + r.killed <= r.generated,
             "conservation under churn"
         );
+    }
+
+    /// ISSUE 4 satellite: every epoch bump used to orphan the node's
+    /// previously scheduled completion event, which still got popped and
+    /// discarded. The memo keeps exactly one live event per node, so dead
+    /// pops are bounded by what was actually scheduled, and scheduling
+    /// itself is bounded by allocation-changing events (each admit or
+    /// completion batch triggers at most one (re)schedule, and admits are
+    /// bounded by tasks entering execution).
+    #[test]
+    fn stale_completion_pops_are_bounded() {
+        for (churn, seed) in [(0.0, 5), (0.75, 6)] {
+            let r = Scenario::quick(ProtocolChoice::Hid)
+                .nodes(120)
+                .hours(2)
+                .churn(churn)
+                .seed(seed)
+                .run();
+            assert!(r.completion_scheduled > 0, "nothing ever scheduled");
+            assert!(
+                r.completion_dead_pops <= r.completion_scheduled,
+                "more dead pops ({}) than scheduled events ({})",
+                r.completion_dead_pops,
+                r.completion_scheduled
+            );
+            // Each admit schedules ≤ 1 event; each valid pop reschedules
+            // ≤ 1, and valid pops split into completion batches (≥ 1 finish
+            // each) plus at most one residual-epsilon retry per batch — so
+            // scheduled ≤ admits + 2·finishes ≤ 3·admits.
+            let admits = r.generated + r.local_generated + r.checkpoint_resubmits;
+            assert!(
+                r.completion_scheduled <= 3 * admits,
+                "scheduled ({}) exceeds the 3×admits bound ({} admits)",
+                r.completion_scheduled,
+                admits
+            );
+        }
     }
 
     #[test]
