@@ -45,6 +45,59 @@ fn bench_routing(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_next_hop(c: &mut Criterion) {
+    // The per-hop decision behind every routed message: the scan recomputes
+    // the finger ranking + candidate tests on every call; the cached router
+    // memoizes per-(node, target-cell) answers behind overlay/table-epoch
+    // validation. The workload replays a fixed pool of (sender, target)
+    // pairs — the steady-state shape of a duty-routing burst, where Table II
+    // demand corners and unchanged availability points recur exactly.
+    use soc_inscan::{RouteBackend, Router};
+    let mut g = c.benchmark_group("next_hop");
+    for &n in &[256usize, 1024] {
+        let (ov, tables, mut rng) = setup(n, 5, 48);
+        let pairs: Vec<(NodeId, ResVec)> = (0..64)
+            .map(|i| {
+                (
+                    NodeId((i * 7) % n as u32),
+                    soc_can::overlay::random_point(5, &mut rng),
+                )
+            })
+            .collect();
+        // Both backends must agree before we time anything.
+        let mut cached = Router::with_backend(RouteBackend::Cached);
+        let mut scan = Router::with_backend(RouteBackend::Scan);
+        for (from, p) in &pairs {
+            assert_eq!(
+                cached.next_hop(&ov, &tables, *from, p),
+                scan.next_hop(&ov, &tables, *from, p)
+            );
+        }
+        for (label, backend) in [
+            ("scan", RouteBackend::Scan),
+            ("cached", RouteBackend::Cached),
+        ] {
+            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                // Warm over the full pair pool first so the cached backend
+                // is timed on its steady-state path (validated hits), the
+                // regime the whole-run 70% hit rate puts it in — not on
+                // the cold first touch of each pair.
+                let mut router = Router::with_backend(backend);
+                for (from, p) in &pairs {
+                    router.next_hop(&ov, &tables, *from, p);
+                }
+                let mut i = 0;
+                b.iter(|| {
+                    i = (i + 1) % pairs.len();
+                    let (from, p) = &pairs[i];
+                    black_box(router.next_hop(&ov, &tables, *from, p))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
 fn bench_inscan_rq(c: &mut Criterion) {
     // Fig. 1 / §III-A: INSCAN-RQ flood cost explodes as the range widens.
     let mut g = c.benchmark_group("inscan_rq");
@@ -280,7 +333,7 @@ fn bench_psm(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_routing, bench_inscan_rq, bench_diffusion, bench_event_queue,
-        bench_record_cache, bench_psm
+    targets = bench_routing, bench_next_hop, bench_inscan_rq, bench_diffusion,
+        bench_event_queue, bench_record_cache, bench_psm
 }
 criterion_main!(benches);

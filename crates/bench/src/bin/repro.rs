@@ -8,7 +8,8 @@
 //! repro table3            # Table III: HID-CAN scalability
 //! repro all               # everything above
 //! repro perf              # serial/parallel x heap/calendar x scan/indexed
-//!                         #   timing grid (writes BENCH_PR2.json, see --out)
+//!                         #   x route scan/cached timing grid (writes
+//!                         #   BENCH_PR2.json, see --out)
 //! repro diag              # λ=0.5 rejection split (oracle on), baseline vs
 //!                         #   search-corner jitter (--jitter)
 //! repro scenario FILE     # run a scenario file (see scenarios/ gallery);
@@ -233,7 +234,7 @@ fn run_table3(scale: Scale, seed: u64) -> Sections {
 
 fn run_perf(args: &Args, seed: u64) {
     println!(
-        "== perf: sweep parallelism x event-queue backend x cache backend ({} scale) ==",
+        "== perf: sweep parallelism x event queue x record cache x route cache ({} scale) ==",
         args.scale_label
     );
     let rep = perf::perf_compare(args.scale, args.scale_label, seed, args.reps);

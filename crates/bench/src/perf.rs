@@ -1,12 +1,13 @@
 //! `repro perf`: wall-clock A/B harness for the runner optimisations.
 //!
-//! Times the Table III and Fig. 4 sweeps under every combination of
-//! {serial, parallel} × {heap, calendar} × {scan, indexed} by flipping the
-//! `SOC_BENCH_THREADS`, `SOC_SIM_QUEUE` and `SOC_CACHE` environment
-//! variables (all re-read per sweep / per queue or cache construction
-//! precisely so one process can compare them), and cross-checks that all
-//! configurations produce **bitwise identical** reports — the optimisations
-//! must never change simulation results.
+//! Times the Table III and Fig. 4 sweeps across the {serial, parallel} ×
+//! {heap, calendar} × {scan, indexed} × {route scan, route cached} axes by
+//! flipping the `SOC_BENCH_THREADS`, `SOC_SIM_QUEUE`, `SOC_CACHE` and
+//! `SOC_ROUTE` environment variables (all re-read per sweep / per
+//! queue/cache/router construction precisely so one process can compare
+//! them), and cross-checks that all configurations produce **bitwise
+//! identical** reports — the optimisations must never change simulation
+//! results.
 //!
 //! The result is written as `BENCH_PR2.json` (the name is the repo's
 //! perf-trajectory artifact; later PRs append axes, not files) through the
@@ -27,6 +28,8 @@ pub struct PerfRow {
     pub queue: &'static str,
     /// `scan` or `indexed` record caches.
     pub cache: &'static str,
+    /// `scan` or `cached` next-hop routing.
+    pub route: &'static str,
     /// Worker threads the sweep engine used.
     pub threads: usize,
     /// Wall-clock milliseconds.
@@ -79,6 +82,7 @@ struct Config {
     threads: usize,
     queue: &'static str,
     cache: &'static str,
+    route: &'static str,
 }
 
 /// Time one configuration once; returns the two rows plus the concatenated
@@ -87,6 +91,7 @@ fn run_config(scale: Scale, seed: u64, cfg: Config) -> (Vec<PerfRow>, String) {
     let _t = env_guard("SOC_BENCH_THREADS", Some(cfg.threads.to_string()));
     let _q = env_guard("SOC_SIM_QUEUE", Some(cfg.queue.to_string()));
     let _c = env_guard("SOC_CACHE", Some(cfg.cache.to_string()));
+    let _r = env_guard("SOC_ROUTE", Some(cfg.route.to_string()));
     let mut rows = Vec::new();
     let mut prints = String::new();
 
@@ -97,6 +102,7 @@ fn run_config(scale: Scale, seed: u64, cfg: Config) -> (Vec<PerfRow>, String) {
         mode: cfg.mode,
         queue: cfg.queue,
         cache: cfg.cache,
+        route: cfg.route,
         threads: cfg.threads,
         wall_ms: start.elapsed().as_millis(),
         cell_ms: t3.iter().map(|r| r.wall_ms).collect(),
@@ -112,6 +118,7 @@ fn run_config(scale: Scale, seed: u64, cfg: Config) -> (Vec<PerfRow>, String) {
         mode: cfg.mode,
         queue: cfg.queue,
         cache: cfg.cache,
+        route: cfg.route,
         threads: cfg.threads,
         wall_ms: start.elapsed().as_millis(),
         cell_ms: f4
@@ -132,47 +139,62 @@ fn run_config(scale: Scale, seed: u64, cfg: Config) -> (Vec<PerfRow>, String) {
 /// shared runners.
 ///
 /// The grid is the serial/parallel × heap/calendar square at the default
-/// indexed cache, plus scan-cache counterpoints on the two serial corners —
-/// enough to isolate each axis (queue, cache, threads) without paying for
-/// the full 2×2×2 cube on every CI run.
+/// indexed cache and cached routing, plus scan-cache counterpoints on the
+/// two serial corners and a scan-route counterpoint on the fully
+/// optimised serial corner — enough to isolate each axis (queue, cache,
+/// route, threads) without paying for the full 2×2×2×2 cube on every CI
+/// run.
 pub fn perf_compare(scale: Scale, scale_label: &'static str, seed: u64, reps: usize) -> PerfReport {
     let parallel_threads = sweep::thread_count();
-    let grid: [Config; 6] = [
+    let grid: [Config; 7] = [
         Config {
             mode: "serial",
             threads: 1,
             queue: "heap",
             cache: "scan",
+            route: "cached",
         },
         Config {
             mode: "serial",
             threads: 1,
             queue: "heap",
             cache: "indexed",
+            route: "cached",
         },
         Config {
             mode: "serial",
             threads: 1,
             queue: "calendar",
             cache: "scan",
+            route: "cached",
         },
         Config {
             mode: "serial",
             threads: 1,
             queue: "calendar",
             cache: "indexed",
+            route: "scan",
+        },
+        Config {
+            mode: "serial",
+            threads: 1,
+            queue: "calendar",
+            cache: "indexed",
+            route: "cached",
         },
         Config {
             mode: "parallel",
             threads: parallel_threads,
             queue: "calendar",
             cache: "scan",
+            route: "cached",
         },
         Config {
             mode: "parallel",
             threads: parallel_threads,
             queue: "calendar",
             cache: "indexed",
+            route: "cached",
         },
     ];
     let mut rows: Vec<PerfRow> = Vec::new();
@@ -182,8 +204,8 @@ pub fn perf_compare(scale: Scale, scale_label: &'static str, seed: u64, reps: us
         // config back-to-back) spreads slow-machine phases fairly.
         for cfg in grid {
             eprintln!(
-                "perf: rep {rep}: timing {}+{}+{} (threads={}) ...",
-                cfg.mode, cfg.queue, cfg.cache, cfg.threads
+                "perf: rep {rep}: timing {}+{}+{}+route-{} (threads={}) ...",
+                cfg.mode, cfg.queue, cfg.cache, cfg.route, cfg.threads
             );
             let (timed, fp) = run_config(scale, seed, cfg);
             fingerprints.push(fp);
@@ -193,6 +215,7 @@ pub fn perf_compare(scale: Scale, scale_label: &'static str, seed: u64, reps: us
                         && r.mode == t.mode
                         && r.queue == t.queue
                         && r.cache == t.cache
+                        && r.route == t.route
                 }) {
                     Some(r) => {
                         if t.wall_ms < r.wall_ms {
@@ -216,38 +239,52 @@ pub fn perf_compare(scale: Scale, scale_label: &'static str, seed: u64, reps: us
 }
 
 impl PerfReport {
-    fn wall(&self, sweep: &str, mode: &str, queue: &str, cache: &str) -> Option<u128> {
+    fn wall(&self, sweep: &str, mode: &str, queue: &str, cache: &str, route: &str) -> Option<u128> {
         self.rows
             .iter()
-            .find(|r| r.sweep == sweep && r.mode == mode && r.queue == queue && r.cache == cache)
+            .find(|r| {
+                r.sweep == sweep
+                    && r.mode == mode
+                    && r.queue == queue
+                    && r.cache == cache
+                    && r.route == route
+            })
             .map(|r| r.wall_ms)
     }
 
     /// `baseline / optimised` for one sweep (≥ 1 means the fully optimised
-    /// configuration — parallel, calendar queue, indexed caches — is
-    /// faster than serial+heap+scan).
+    /// configuration — parallel, calendar queue, indexed caches, cached
+    /// routing — is faster than serial+heap+scan).
     pub fn speedup(&self, sweep: &str) -> Option<f64> {
-        let base = self.wall(sweep, "serial", "heap", "scan")?;
-        let opt = self.wall(sweep, "parallel", "calendar", "indexed")?;
+        let base = self.wall(sweep, "serial", "heap", "scan", "cached")?;
+        let opt = self.wall(sweep, "parallel", "calendar", "indexed", "cached")?;
         Some(base as f64 / (opt.max(1)) as f64)
     }
 
-    /// Cache-axis speedup in isolation (serial, calendar queue):
-    /// `scan / indexed`.
+    /// Cache-axis speedup in isolation (serial, calendar queue, cached
+    /// routing): `scan / indexed`.
     pub fn cache_speedup(&self, sweep: &str) -> Option<f64> {
-        let scan = self.wall(sweep, "serial", "calendar", "scan")?;
-        let indexed = self.wall(sweep, "serial", "calendar", "indexed")?;
+        let scan = self.wall(sweep, "serial", "calendar", "scan", "cached")?;
+        let indexed = self.wall(sweep, "serial", "calendar", "indexed", "cached")?;
         Some(scan as f64 / (indexed.max(1)) as f64)
+    }
+
+    /// Route-axis speedup in isolation (serial, calendar queue, indexed
+    /// caches): `route scan / route cached`.
+    pub fn route_speedup(&self, sweep: &str) -> Option<f64> {
+        let scan = self.wall(sweep, "serial", "calendar", "indexed", "scan")?;
+        let cached = self.wall(sweep, "serial", "calendar", "indexed", "cached")?;
+        Some(scan as f64 / (cached.max(1)) as f64)
     }
 
     /// Human-readable comparison table.
     pub fn render(&self) -> String {
-        let mut out = String::from("sweep\tmode\tqueue\tcache\tthreads\twall_ms\n");
+        let mut out = String::from("sweep\tmode\tqueue\tcache\troute\tthreads\twall_ms\n");
         for r in &self.rows {
             let _ = writeln!(
                 out,
-                "{}\t{}\t{}\t{}\t{}\t{}",
-                r.sweep, r.mode, r.queue, r.cache, r.threads, r.wall_ms
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                r.sweep, r.mode, r.queue, r.cache, r.route, r.threads, r.wall_ms
             );
         }
         for sweep in ["table3", "fig4"] {
@@ -261,6 +298,12 @@ impl PerfReport {
                 let _ = writeln!(
                     out,
                     "# {sweep}: indexed cache alone is {s:.2}x vs scan (serial+calendar)"
+                );
+            }
+            if let Some(s) = self.route_speedup(sweep) {
+                let _ = writeln!(
+                    out,
+                    "# {sweep}: cached routing alone is {s:.2}x vs scan (serial+calendar+indexed)"
                 );
             }
         }
@@ -282,6 +325,7 @@ impl PerfReport {
                 .str("mode", r.mode)
                 .str("queue", r.queue)
                 .str("cache", r.cache)
+                .str("route", r.route)
                 .u64("threads", r.threads as u64)
                 .u64("wall_ms", r.wall_ms as u64)
                 .raw("cell_ms", &array(r.cell_ms.iter().map(|c| c.to_string())))
@@ -292,7 +336,7 @@ impl PerfReport {
                 .unwrap_or_else(|| "null".into())
         };
         let mut out = Obj::new()
-            .str("bench", "sweep+queue+cache perf grid")
+            .str("bench", "sweep+queue+cache+route perf grid")
             .str("scale", self.scale)
             .u64("seed", self.seed)
             .u64("parallel_threads", self.parallel_threads as u64)
@@ -312,6 +356,14 @@ impl PerfReport {
             .raw(
                 "speedup_fig4_indexed_cache_vs_scan",
                 &speedup(self.cache_speedup("fig4")),
+            )
+            .raw(
+                "speedup_table3_cached_route_vs_scan",
+                &speedup(self.route_speedup("table3")),
+            )
+            .raw(
+                "speedup_fig4_cached_route_vs_scan",
+                &speedup(self.route_speedup("fig4")),
             )
             .raw("rows", &rows)
             .finish();
@@ -336,6 +388,7 @@ mod tests {
                     mode: "serial",
                     queue: "heap",
                     cache: "scan",
+                    route: "cached",
                     threads: 1,
                     wall_ms: 100,
                     cell_ms: vec![20, 30, 50],
@@ -345,6 +398,7 @@ mod tests {
                     mode: "serial",
                     queue: "calendar",
                     cache: "scan",
+                    route: "cached",
                     threads: 1,
                     wall_ms: 80,
                     cell_ms: vec![15, 25, 40],
@@ -354,6 +408,17 @@ mod tests {
                     mode: "serial",
                     queue: "calendar",
                     cache: "indexed",
+                    route: "scan",
+                    threads: 1,
+                    wall_ms: 60,
+                    cell_ms: vec![12, 18, 30],
+                },
+                PerfRow {
+                    sweep: "table3",
+                    mode: "serial",
+                    queue: "calendar",
+                    cache: "indexed",
+                    route: "cached",
                     threads: 1,
                     wall_ms: 40,
                     cell_ms: vec![8, 12, 20],
@@ -363,6 +428,7 @@ mod tests {
                     mode: "parallel",
                     queue: "calendar",
                     cache: "indexed",
+                    route: "cached",
                     threads: 4,
                     wall_ms: 25,
                     cell_ms: vec![8, 12, 20],
@@ -372,16 +438,20 @@ mod tests {
         };
         assert_eq!(rep.speedup("table3"), Some(4.0));
         assert_eq!(rep.cache_speedup("table3"), Some(2.0));
+        assert_eq!(rep.route_speedup("table3"), Some(1.5));
         let j = rep.to_json();
         assert!(j.contains("\"deterministic\":true"));
         assert!(j.contains("\"cache\":\"indexed\""));
+        assert!(j.contains("\"route\":\"cached\""));
         assert!(j.contains("\"wall_ms\":25"));
         assert!(j.contains("\"cell_ms\":[20,30,50]"));
         assert!(j.contains("\"speedup_table3_indexed_cache_vs_scan\":2.000"));
+        assert!(j.contains("\"speedup_table3_cached_route_vs_scan\":1.500"));
         assert!(j.trim_end().ends_with('}'));
         let t = rep.render();
         assert!(t.contains("4.00x"));
         assert!(t.contains("2.00x"));
+        assert!(t.contains("1.50x"));
     }
 
     #[test]

@@ -26,6 +26,6 @@ pub mod zone;
 
 pub use neighbors::{adjacency, is_negative_direction, Adjacency};
 pub use overlay::{CanOverlay, NeighborEntry};
-pub use routing::{greedy_next_hop, route_path, RouteOutcome};
+pub use routing::{greedy_next_hop, greedy_next_hop_filtered, route_path, RouteOutcome};
 pub use tree::PartitionTree;
 pub use zone::{Point, Zone};

@@ -42,6 +42,10 @@ pub struct CanOverlay {
     alive: Vec<bool>,
     n_alive: usize,
     dim: usize,
+    /// Structure epoch: bumped on every join/leave (the only operations
+    /// that change zones or neighbor tables). Routing caches compare this
+    /// to decide whether a memoized next hop is still valid.
+    epoch: u64,
 }
 
 impl CanOverlay {
@@ -59,6 +63,7 @@ impl CanOverlay {
             alive,
             n_alive: 1,
             dim,
+            epoch: 0,
         }
     }
 
@@ -126,6 +131,14 @@ impl CanOverlay {
         &self.tree
     }
 
+    /// Structure epoch: changes exactly when any zone or neighbor table
+    /// changes (every join/leave). Two reads of overlay state made under
+    /// the same epoch are guaranteed to observe identical structure.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// Remove any existing mutual entries between `a` and `b`, then re-add
     /// them if their current zones are adjacent.
     fn retest(&mut self, a: NodeId, b: NodeId) {
@@ -163,6 +176,7 @@ impl CanOverlay {
     /// Panics if `newcomer` is already alive or its id exceeds capacity.
     pub fn join(&mut self, newcomer: NodeId, p: &Point) -> NodeId {
         assert!(!self.is_alive(newcomer), "{newcomer} already alive");
+        self.epoch += 1;
         let (owner, new_zone, owner_zone) = self.tree.join(newcomer, p);
         let old_nb: Vec<NodeId> = self.neighbors[owner.idx()].iter().map(|e| e.node).collect();
 
@@ -193,6 +207,7 @@ impl CanOverlay {
     pub fn leave(&mut self, node: NodeId) -> Vec<(NodeId, Zone)> {
         assert!(self.is_alive(node), "{node} not alive");
         assert!(self.n_alive > 1, "cannot drain the overlay");
+        self.epoch += 1;
 
         // Collect candidate sets *before* mutating zones.
         let dep_nb: Vec<NodeId> = self.neighbors[node.idx()].iter().map(|e| e.node).collect();

@@ -34,9 +34,40 @@ pub fn greedy_next_hop(ov: &CanOverlay, current: NodeId, target: &Point) -> Opti
     if zone.contains(target) {
         return None;
     }
+    greedy_next_hop_filtered(ov, current, target, |n| {
+        // Plain greedy routing runs against a consistent overlay: a
+        // neighbor entry without a zone means the neighbor tables are
+        // corrupt, and silently skipping it would hide that (the filtered
+        // walk below skips zone-less entries by design, which is correct
+        // only for the route-around-churn callers).
+        debug_assert!(ov.zone(n).is_some(), "neighbor table points at dead node");
+        true
+    })
+}
+
+/// The greedy step over the subset of `current`'s neighbors accepted by
+/// `accept` — the shared fallback behind plain greedy routing and the
+/// protocols' route-around-a-dead-hop retransmission paths (which exclude
+/// the observed-dead node and anything the failure detector flagged).
+///
+/// The caller must already have established that `current`'s zone does not
+/// contain `target`. Neighbors without a zone (mid-churn staleness) are
+/// skipped; ties break by node id. Returns `None` when no neighbor is
+/// accepted (an isolated sender).
+pub fn greedy_next_hop_filtered(
+    ov: &CanOverlay,
+    current: NodeId,
+    target: &Point,
+    mut accept: impl FnMut(NodeId) -> bool,
+) -> Option<NodeId> {
     let mut best: Option<(f64, NodeId)> = None;
     for e in ov.neighbors(current) {
-        let nz = ov.zone(e.node).expect("neighbor table points at dead node");
+        if !accept(e.node) {
+            continue;
+        }
+        let Some(nz) = ov.zone(e.node) else {
+            continue;
+        };
         let d = nz.dist_to_point(target);
         let better = match best {
             None => true,

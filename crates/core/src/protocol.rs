@@ -6,7 +6,8 @@ use crate::config::{DiffusionMethod, PidCanConfig};
 use crate::messages::PidMsg;
 use crate::pilist::PiList;
 use rand::{Rng, RngExt};
-use soc_inscan::{inscan_next_hop, IndexTables};
+use soc_can::greedy_next_hop_filtered;
+use soc_inscan::{IndexTables, Router};
 use soc_net::MsgKind;
 use soc_overlay::{
     Candidate, Ctx, DiscoveryOverlay, QueryRequest, QueryVerdict, RecordCache, StateRecord,
@@ -49,6 +50,10 @@ pub struct PidDiag {
 pub struct PidCan {
     cfg: PidCanConfig,
     tables: IndexTables,
+    /// Routed-message facade: every next-hop decision (forward, re-route
+    /// around a dead hop) goes through here so the `SOC_ROUTE` cache can
+    /// memoize the hot (node, target) pairs of a duty-routing burst.
+    router: Router,
     caches: Vec<RecordCache>,
     pilists: Vec<PiList>,
     queries: HashMap<QueryId, QueryState>,
@@ -76,6 +81,7 @@ impl PidCan {
         PidCan {
             cfg,
             tables: IndexTables::new(dim, n, max_nodes),
+            router: Router::from_env(),
             caches: vec![RecordCache::new(cfg.record_ttl_ms); max_nodes],
             pilists: vec![PiList::new(); max_nodes],
             queries: HashMap::new(),
@@ -99,6 +105,12 @@ impl PidCan {
     /// Read access to the finger tables (benches/diagnostics).
     pub fn tables(&self) -> &IndexTables {
         &self.tables
+    }
+
+    /// Route-cache hit/miss accounting (diagnostics; zeros under
+    /// `SOC_ROUTE=scan`).
+    pub fn route_cache_stats(&self) -> soc_inscan::RouteCacheStats {
+        self.router.cache_stats()
     }
 
     /// Read access to a node's record cache (tests/diagnostics).
@@ -155,14 +167,14 @@ impl PidCan {
     /// Route-or-consume for messages targeting a key-space point. Returns
     /// `true` when `node` owns the point (message consumed by caller).
     fn forward_toward(
-        &self,
+        &mut self,
         ctx: &mut Ctx<'_, PidMsg>,
         node: NodeId,
         target: &ResVec,
         kind: MsgKind,
         msg: PidMsg,
     ) -> bool {
-        match inscan_next_hop(ctx.can, &self.tables, node, target) {
+        match self.router.next_hop(ctx.can, &self.tables, node, target) {
             None => true,
             Some(next) => {
                 ctx.send(node, next, kind, msg);
@@ -178,7 +190,7 @@ impl PidCan {
     /// closest live zone to the target it consumes the message itself
     /// (returns `true`).
     fn forward_avoiding(
-        &self,
+        &mut self,
         ctx: &mut Ctx<'_, PidMsg>,
         node: NodeId,
         target: &ResVec,
@@ -189,28 +201,18 @@ impl PidCan {
         if ctx.can.zone(node).is_some_and(|z| z.contains(target)) {
             return true;
         }
-        if let Some(next) = inscan_next_hop(ctx.can, &self.tables, node, target) {
+        if let Some(next) = self.router.next_hop(ctx.can, &self.tables, node, target) {
             if next != avoid && ctx.host.is_alive(next) {
                 ctx.send(node, next, kind, msg);
                 return false;
             }
         }
         // Greedy over live neighbors, excluding the dead hop.
-        let mut best: Option<(f64, NodeId)> = None;
-        for e in ctx.can.neighbors(node) {
-            if e.node == avoid || !ctx.host.is_alive(e.node) {
-                continue;
-            }
-            let Some(z) = ctx.can.zone(e.node) else {
-                continue;
-            };
-            let d = z.dist_to_point(target);
-            if best.is_none_or(|(bd, bn)| d < bd || (d == bd && e.node < bn)) {
-                best = Some((d, e.node));
-            }
-        }
-        match best {
-            Some((_, next)) => {
+        let next = greedy_next_hop_filtered(ctx.can, node, target, |n| {
+            n != avoid && ctx.host.is_alive(n)
+        });
+        match next {
+            Some(next) => {
                 ctx.send(node, next, kind, msg);
                 false
             }
@@ -569,6 +571,10 @@ impl DiscoveryOverlay for PidCan {
     }
 
     fn diag_string(&self) -> String {
+        // Route-cache hit/miss counters are deliberately NOT in here: diag
+        // feeds `RunReport::fingerprint`, which must be bitwise identical
+        // across `SOC_ROUTE` backends. Read them via
+        // [`PidCan::route_cache_stats`] instead.
         format!("{:?}", self.diag)
     }
 
@@ -915,5 +921,173 @@ impl DiscoveryOverlay for PidCan {
             // The requester died; nothing to deliver to.
             PidMsg::Found { .. } | PidMsg::Exhausted { .. } => {}
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use soc_can::CanOverlay;
+    use soc_overlay::testkit::TestHost;
+    use soc_overlay::Effect;
+
+    const N: usize = 16;
+
+    /// ISSUE 5 satellite: `forward_avoiding`'s greedy-over-live fallback
+    /// was previously exercised only indirectly through churn runs; these
+    /// tests drive the private method straight.
+    fn world(seed: u64) -> (PidCan, CanOverlay, TestHost, SmallRng) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let can = CanOverlay::bootstrap(2, N, N, &mut rng);
+        let cmax = ResVec::from_slice(&[10.0, 10.0]);
+        let host = TestHost::uniform(N, ResVec::from_slice(&[5.0, 5.0]), cmax);
+        // Tables stay empty (no refresh), so the router's finger step
+        // degenerates to the plain greedy hop — deterministic without RNG.
+        let proto = PidCan::new(PidCanConfig::hid(), 2, N, N);
+        (proto, can, host, rng)
+    }
+
+    fn dummy_msg() -> PidMsg {
+        PidMsg::StateUpdate {
+            subject: NodeId(0),
+            avail: ResVec::from_slice(&[5.0, 5.0]),
+            target: ResVec::from_slice(&[0.9, 0.9]),
+            hops_left: 4,
+        }
+    }
+
+    /// The greedy choice over `node`'s neighbors restricted by `ok`,
+    /// replicating the pre-facade inline loop (distance, then id).
+    fn manual_greedy(
+        can: &CanOverlay,
+        host: &TestHost,
+        node: NodeId,
+        target: &ResVec,
+        avoid: NodeId,
+    ) -> Option<NodeId> {
+        let mut best: Option<(f64, NodeId)> = None;
+        for e in can.neighbors(node) {
+            if e.node == avoid || !host.alive[e.node.idx()] {
+                continue;
+            }
+            let d = can.zone(e.node).unwrap().dist_to_point(target);
+            if best.is_none_or(|(bd, bn)| d < bd || (d == bd && e.node < bn)) {
+                best = Some((d, e.node));
+            }
+        }
+        best.map(|(_, n)| n)
+    }
+
+    /// A sender far from the target, its unfiltered greedy next hop, and
+    /// the target point.
+    fn pick_route(can: &CanOverlay) -> (NodeId, NodeId, ResVec) {
+        let target = ResVec::from_slice(&[0.97, 0.97]);
+        let sender = can.owner_of(&ResVec::from_slice(&[0.02, 0.02]));
+        let hop = soc_can::greedy_next_hop(can, sender, &target).expect("sender is far away");
+        (sender, hop, target)
+    }
+
+    #[test]
+    fn avoided_hop_is_never_chosen() {
+        let (mut proto, can, host, mut rng) = world(71);
+        let (sender, hop, target) = pick_route(&can);
+        let mut ctx = Ctx::new(0, &can, &host, &mut rng);
+        let consumed = proto.forward_avoiding(
+            &mut ctx,
+            sender,
+            &target,
+            MsgKind::StateUpdate,
+            dummy_msg(),
+            hop,
+        );
+        assert!(!consumed, "other live neighbors exist");
+        let (fx, _) = ctx.finish();
+        let expect = manual_greedy(&can, &host, sender, &target, hop).unwrap();
+        assert_ne!(expect, hop);
+        match &fx[..] {
+            [Effect::Send { from, to, .. }] => {
+                assert_eq!(*from, sender);
+                assert_eq!(
+                    *to, expect,
+                    "fallback must pick the nearest non-avoided live neighbor"
+                );
+            }
+            other => panic!("expected exactly one send, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dead_neighbors_are_skipped() {
+        let (mut proto, can, mut host, mut rng) = world(72);
+        let (sender, hop, target) = pick_route(&can);
+        // Kill everything the plain greedy would prefer except one
+        // survivor; the fallback must find that survivor.
+        let survivor = can.neighbors(sender).iter().map(|e| e.node).max().unwrap();
+        for e in can.neighbors(sender) {
+            host.alive[e.node.idx()] = e.node == survivor;
+        }
+        let avoid = if hop == survivor {
+            NodeId(u32::MAX)
+        } else {
+            hop
+        };
+        let mut ctx = Ctx::new(0, &can, &host, &mut rng);
+        let consumed = proto.forward_avoiding(
+            &mut ctx,
+            sender,
+            &target,
+            MsgKind::StateUpdate,
+            dummy_msg(),
+            avoid,
+        );
+        assert!(!consumed);
+        let (fx, _) = ctx.finish();
+        match &fx[..] {
+            [Effect::Send { to, .. }] => assert_eq!(*to, survivor),
+            other => panic!("expected exactly one send, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn isolated_sender_self_consumes() {
+        let (mut proto, can, mut host, mut rng) = world(73);
+        let (sender, hop, target) = pick_route(&can);
+        for e in can.neighbors(sender) {
+            host.alive[e.node.idx()] = false;
+        }
+        let mut ctx = Ctx::new(0, &can, &host, &mut rng);
+        let consumed = proto.forward_avoiding(
+            &mut ctx,
+            sender,
+            &target,
+            MsgKind::StateUpdate,
+            dummy_msg(),
+            hop,
+        );
+        assert!(consumed, "an isolated sender must consume the message");
+        let (fx, sent) = ctx.finish();
+        assert!(fx.is_empty(), "nothing to send: {fx:?}");
+        assert!(sent.is_zero());
+    }
+
+    #[test]
+    fn owner_consumes_without_forwarding() {
+        let (mut proto, can, host, mut rng) = world(74);
+        let target = ResVec::from_slice(&[0.97, 0.97]);
+        let owner = can.owner_of(&target);
+        let mut ctx = Ctx::new(0, &can, &host, &mut rng);
+        let consumed = proto.forward_avoiding(
+            &mut ctx,
+            owner,
+            &target,
+            MsgKind::StateUpdate,
+            dummy_msg(),
+            NodeId(u32::MAX),
+        );
+        assert!(consumed, "the zone owner consumes directly");
+        let (fx, _) = ctx.finish();
+        assert!(fx.is_empty());
     }
 }

@@ -1,0 +1,326 @@
+//! The routed-message fast path: a [`Router`] facade over the per-hop
+//! next-hop decision, with an epoch-validated route cache.
+//!
+//! Every routed message (state updates, duty queries) re-runs the same
+//! pure decision at each hop: *given my zone, my finger table and the
+//! target point, who is next?* Targets recur heavily — Table II demand
+//! vectors come from a discrete set, so concurrent same-corner queries
+//! share exact targets, and an idle node republishes its unchanged
+//! availability point every state cycle — which makes the decision worth
+//! memoizing, in the spirit of request-aware cloud cache management:
+//! remember exactly the hot, re-requested decisions behind explicit
+//! invalidation.
+//!
+//! The cache is a fixed-size direct-mapped table: hashing `(node, target)`
+//! picks the **target cell**, and the entry stores the exact target plus
+//! the two epochs its answer was computed under — the overlay structure
+//! epoch ([`CanOverlay::epoch`], bumped on every join/leave/zone change)
+//! and the node's finger-table refresh epoch
+//! ([`IndexTables::epoch_of`]). A lookup hits only when the cell holds the
+//! *bit-identical* target and both epochs still match, so a hit returns
+//! exactly what the scan would have computed — stale entries (churn, table
+//! refresh) and cell collisions simply miss and are overwritten. Neither
+//! the finger step nor the greedy fallback draws randomness, so cached
+//! routing is bitwise-identical end to end
+//! (`crates/bench/tests/route_equivalence.rs` pins whole-run fingerprints;
+//! `crates/inscan/tests/route_props.rs` pins the step in lockstep).
+//!
+//! Select with `SOC_ROUTE=scan|cached` (read per router construction,
+//! mirroring `SOC_SIM_QUEUE`/`SOC_CACHE`); default `cached`.
+
+use crate::routing::inscan_next_hop;
+use crate::table::IndexTables;
+use soc_can::{greedy_next_hop, CanOverlay, Point};
+use soc_types::NodeId;
+
+/// Which next-hop implementation a [`Router`] uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteBackend {
+    /// Memoize per-(node, target-cell) next hops, epoch-validated
+    /// (default).
+    Cached,
+    /// Recompute the finger/greedy scan on every hop (reference
+    /// implementation).
+    Scan,
+}
+
+impl RouteBackend {
+    /// Backend selected by the `SOC_ROUTE` environment variable (`scan` or
+    /// `cached`, case-insensitive); defaults to `Cached`.
+    ///
+    /// Read on every router construction — deliberately uncached so a
+    /// single process can A/B both backends (`repro perf`).
+    pub fn from_env() -> Self {
+        match std::env::var("SOC_ROUTE") {
+            Ok(v) if v.eq_ignore_ascii_case("scan") => RouteBackend::Scan,
+            _ => RouteBackend::Cached,
+        }
+    }
+}
+
+/// Cache slots (power of two). At 300–2000 nodes a duty-routing burst
+/// touches a few hundred (node, target) pairs; 4096 cells keep the
+/// direct-mapped conflict rate low for ~400 KiB per protocol instance.
+const CELLS: usize = 4096;
+
+/// One memoized next-hop decision.
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    node: NodeId,
+    target: Point,
+    /// `true` when the entry answers the greedy (finger-less) question —
+    /// the same `(node, target)` pair may legitimately have both answers.
+    greedy: bool,
+    hop: Option<NodeId>,
+    ov_epoch: u64,
+    tbl_epoch: u64,
+}
+
+/// Hit/miss accounting (diagnostics and benches only — never part of a
+/// report fingerprint).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RouteCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that recomputed (cold cell, collision, or stale epoch).
+    pub misses: u64,
+}
+
+/// The routed-message facade: one per protocol instance.
+///
+/// Both entry points return bit-identically what their underlying scan
+/// (`inscan_next_hop` / `greedy_next_hop`) returns; the `Cached` backend
+/// only changes *when the work happens*.
+pub struct Router {
+    backend: RouteBackend,
+    cells: Vec<Option<Entry>>,
+    stats: RouteCacheStats,
+}
+
+impl Router {
+    /// Router with an explicit backend.
+    pub fn with_backend(backend: RouteBackend) -> Self {
+        Router {
+            backend,
+            // The scan backend never touches the cells; allocate lazily on
+            // first cached lookup would complicate the hot path for no
+            // gain — a run constructs O(1) routers.
+            cells: vec![None; CELLS],
+            stats: RouteCacheStats::default(),
+        }
+    }
+
+    /// Router with the `SOC_ROUTE`-selected backend.
+    pub fn from_env() -> Self {
+        Self::with_backend(RouteBackend::from_env())
+    }
+
+    /// Backend in use.
+    pub fn backend(&self) -> RouteBackend {
+        self.backend
+    }
+
+    /// Cache accounting so far.
+    pub fn cache_stats(&self) -> RouteCacheStats {
+        self.stats
+    }
+
+    /// One INSCAN routing step (fingers + greedy fallback) from `current`
+    /// toward `target`; `None` when `current`'s zone contains the target.
+    pub fn next_hop(
+        &mut self,
+        ov: &CanOverlay,
+        tables: &IndexTables,
+        current: NodeId,
+        target: &Point,
+    ) -> Option<NodeId> {
+        if self.backend == RouteBackend::Scan {
+            return inscan_next_hop(ov, tables, current, target);
+        }
+        let tbl_epoch = tables.epoch_of(current);
+        let cell = cell_of(current, target, false);
+        if let Some(hop) = self.lookup(cell, ov, current, target, false, tbl_epoch) {
+            return hop;
+        }
+        let hop = inscan_next_hop(ov, tables, current, target);
+        self.store(cell, ov, current, target, false, tbl_epoch, hop);
+        hop
+    }
+
+    /// One greedy CAN step (no finger table) from `current` toward
+    /// `target`; `None` when `current`'s zone contains the target.
+    pub fn greedy_hop(
+        &mut self,
+        ov: &CanOverlay,
+        current: NodeId,
+        target: &Point,
+    ) -> Option<NodeId> {
+        if self.backend == RouteBackend::Scan {
+            return greedy_next_hop(ov, current, target);
+        }
+        let cell = cell_of(current, target, true);
+        if let Some(hop) = self.lookup(cell, ov, current, target, true, 0) {
+            return hop;
+        }
+        let hop = greedy_next_hop(ov, current, target);
+        self.store(cell, ov, current, target, true, 0, hop);
+        hop
+    }
+
+    /// `Some(answer)` on a validated hit, `None` on a miss. The caller
+    /// hashes the key once (`cell_of`) and reuses the cell for the
+    /// `store` that follows a miss.
+    #[inline]
+    fn lookup(
+        &mut self,
+        cell: usize,
+        ov: &CanOverlay,
+        node: NodeId,
+        target: &Point,
+        greedy: bool,
+        tbl_epoch: u64,
+    ) -> Option<Option<NodeId>> {
+        if let Some(e) = &self.cells[cell] {
+            if e.node == node
+                && e.greedy == greedy
+                && e.ov_epoch == ov.epoch()
+                && e.tbl_epoch == tbl_epoch
+                && e.target == *target
+            {
+                self.stats.hits += 1;
+                return Some(e.hop);
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn store(
+        &mut self,
+        cell: usize,
+        ov: &CanOverlay,
+        node: NodeId,
+        target: &Point,
+        greedy: bool,
+        tbl_epoch: u64,
+        hop: Option<NodeId>,
+    ) {
+        self.cells[cell] = Some(Entry {
+            node,
+            target: *target,
+            greedy,
+            hop,
+            ov_epoch: ov.epoch(),
+            tbl_epoch,
+        });
+    }
+}
+
+/// FNV-1a over the exact target bits, the node id and the greedy flag:
+/// the direct-mapped target cell. Each ingredient is folded through the
+/// multiply so it reaches the low bits that select the cell (FNV's
+/// multiply only diffuses differences *upward* — a flag parked in a high
+/// bit of the seed would never touch the cell index).
+#[inline]
+fn cell_of(node: NodeId, target: &Point, greedy: bool) -> usize {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    h = (h ^ node.0 as u64).wrapping_mul(PRIME);
+    h = (h ^ greedy as u64).wrapping_mul(PRIME);
+    for v in target.iter() {
+        h = (h ^ v.to_bits()).wrapping_mul(PRIME);
+    }
+    // to_bits differences live mostly in the mantissa's high bits; fold
+    // the top half down so they reach the cell index too.
+    h ^= h >> 32;
+    (h as usize) & (CELLS - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use soc_can::overlay::random_point;
+
+    fn setup(n: usize, dim: usize, seed: u64) -> (CanOverlay, IndexTables, SmallRng) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ov = CanOverlay::bootstrap(dim, n, n + 8, &mut rng);
+        let mut tables = IndexTables::new(dim, n, n + 8);
+        tables.refresh_all(&ov, &mut rng);
+        (ov, tables, rng)
+    }
+
+    #[test]
+    fn cached_agrees_with_scan_and_hits_on_repeats() {
+        let (ov, tables, mut rng) = setup(128, 3, 90);
+        let mut router = Router::with_backend(RouteBackend::Cached);
+        let points: Vec<_> = (0..32).map(|_| random_point(3, &mut rng)).collect();
+        for round in 0..3 {
+            for p in &points {
+                for node in [NodeId(0), NodeId(5), NodeId(17)] {
+                    let want = inscan_next_hop(&ov, &tables, node, p);
+                    assert_eq!(router.next_hop(&ov, &tables, node, p), want);
+                    let wantg = greedy_next_hop(&ov, node, p);
+                    assert_eq!(router.greedy_hop(&ov, node, p), wantg);
+                }
+            }
+            if round == 0 {
+                assert_eq!(router.cache_stats().hits, 0, "cold cache cannot hit");
+            }
+        }
+        let s = router.cache_stats();
+        assert!(s.hits > s.misses, "repeats must hit: {s:?}");
+    }
+
+    #[test]
+    fn join_invalidates_cached_hops() {
+        let (mut ov, tables, mut rng) = setup(64, 2, 91);
+        let mut router = Router::with_backend(RouteBackend::Cached);
+        let p = random_point(2, &mut rng);
+        let before = router.next_hop(&ov, &tables, NodeId(0), &p);
+        assert_eq!(before, router.next_hop(&ov, &tables, NodeId(0), &p));
+        let hits0 = router.cache_stats().hits;
+        assert!(hits0 > 0);
+        ov.join(NodeId(64), &random_point(2, &mut rng));
+        // Same lookup after the epoch bump must recompute (a miss), and
+        // still agree with the scan against the *new* structure.
+        let after = router.next_hop(&ov, &tables, NodeId(0), &p);
+        assert_eq!(after, inscan_next_hop(&ov, &tables, NodeId(0), &p));
+        assert_eq!(router.cache_stats().hits, hits0);
+    }
+
+    #[test]
+    fn table_refresh_invalidates_only_that_node() {
+        let (ov, mut tables, mut rng) = setup(64, 2, 92);
+        let mut router = Router::with_backend(RouteBackend::Cached);
+        let p = random_point(2, &mut rng);
+        router.next_hop(&ov, &tables, NodeId(1), &p);
+        router.next_hop(&ov, &tables, NodeId(2), &p);
+        tables.refresh_node(NodeId(1), &ov, &mut rng);
+        let misses0 = router.cache_stats().misses;
+        // Node 1 recomputes; node 2 still hits.
+        assert_eq!(
+            router.next_hop(&ov, &tables, NodeId(1), &p),
+            inscan_next_hop(&ov, &tables, NodeId(1), &p)
+        );
+        assert_eq!(router.cache_stats().misses, misses0 + 1);
+        router.next_hop(&ov, &tables, NodeId(2), &p);
+        assert_eq!(router.cache_stats().misses, misses0 + 1);
+    }
+
+    #[test]
+    fn env_selection_defaults_to_cached() {
+        // Not a parallel-safe env test (process-global): only assert the
+        // default when the variable is absent.
+        if std::env::var("SOC_ROUTE").is_err() {
+            assert_eq!(RouteBackend::from_env(), RouteBackend::Cached);
+        }
+        assert_eq!(
+            Router::with_backend(RouteBackend::Scan).backend(),
+            RouteBackend::Scan
+        );
+    }
+}

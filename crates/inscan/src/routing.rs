@@ -2,7 +2,7 @@
 
 use crate::table::IndexTables;
 use soc_can::{greedy_next_hop, CanOverlay, Point, RouteOutcome};
-use soc_types::NodeId;
+use soc_types::{NodeId, MAX_DIM};
 
 /// One INSCAN routing step from `current` toward `target`.
 ///
@@ -11,6 +11,13 @@ use soc_types::NodeId;
 /// to the target without overshooting along its dimension; otherwise fall
 /// back to a greedy adjacent hop. Returns `None` when `current`'s zone
 /// contains the target.
+///
+/// This step runs once per routed hop of every message in the simulation —
+/// the dimension ranking works in a fixed-size stack array (`dim ≤`
+/// [`MAX_DIM`]) with a stable insertion sort, so the step allocates
+/// nothing. The sort is descending by remaining gap with ties keeping
+/// dimension order, exactly the comparison order of the `Vec::sort_by`
+/// it replaced (both are stable), so routing decisions are bit-identical.
 pub fn inscan_next_hop(
     ov: &CanOverlay,
     tables: &IndexTables,
@@ -26,15 +33,25 @@ pub fn inscan_next_hop(
 
     // Rank dimensions by how far we still have to travel along them.
     let c = zone.center();
-    let mut dims: Vec<(f64, usize, bool)> = (0..ov.dim())
-        .map(|d| {
-            let gap = target[d] - c[d];
-            (gap.abs(), d, gap > 0.0)
-        })
-        .collect();
-    dims.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    let ndims = ov.dim();
+    let mut dims = [(0.0f64, 0usize, false); MAX_DIM];
+    for (d, slot) in dims.iter_mut().enumerate().take(ndims) {
+        let gap = target[d] - c[d];
+        *slot = (gap.abs(), d, gap > 0.0);
+    }
+    // Stable insertion sort, descending by gap (shift only while strictly
+    // smaller, so equal gaps keep ascending-dimension order).
+    for i in 1..ndims {
+        let x = dims[i];
+        let mut j = i;
+        while j > 0 && dims[j - 1].0 < x.0 {
+            dims[j] = dims[j - 1];
+            j -= 1;
+        }
+        dims[j] = x;
+    }
 
-    for &(gap, d, positive) in &dims {
+    for &(gap, d, positive) in dims.iter().take(ndims) {
         if gap == 0.0 {
             continue;
         }

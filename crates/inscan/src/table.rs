@@ -189,6 +189,10 @@ pub fn walk_step<R: Rng>(
 #[derive(Clone, Debug)]
 pub struct IndexTables {
     tables: Vec<IndexTable>,
+    /// Per-node refresh epochs: bumped whenever a node's table content
+    /// changes (refresh, clear, eviction). Routing caches compare these to
+    /// decide whether a memoized next hop computed from the table is stale.
+    epochs: Vec<u64>,
     kmax: usize,
 }
 
@@ -199,6 +203,7 @@ impl IndexTables {
         let kmax = kmax_for(n, dim);
         IndexTables {
             tables: vec![IndexTable::new(dim, kmax); max_nodes],
+            epochs: vec![0; max_nodes],
             kmax,
         }
     }
@@ -213,6 +218,13 @@ impl IndexTables {
         &self.tables[node.idx()]
     }
 
+    /// Refresh epoch of `node`'s table (changes exactly when the table's
+    /// content may have changed).
+    #[inline]
+    pub fn epoch_of(&self, node: NodeId) -> u64 {
+        self.epochs[node.idx()]
+    }
+
     /// Refresh one node's table in place; returns probe accounting.
     pub fn refresh_node<R: Rng>(
         &mut self,
@@ -222,6 +234,7 @@ impl IndexTables {
     ) -> WalkStats {
         let (t, stats) = IndexTable::refresh(node, ov, self.kmax, rng);
         self.tables[node.idx()] = t;
+        self.epochs[node.idx()] += 1;
         stats
     }
 
@@ -238,13 +251,22 @@ impl IndexTables {
 
     /// Evict a churned-away node from every table; returns entries dropped.
     pub fn evict_everywhere(&mut self, node: NodeId) -> usize {
-        self.tables.iter_mut().map(|t| t.evict(node)).sum()
+        let mut total = 0;
+        for (i, t) in self.tables.iter_mut().enumerate() {
+            let n = t.evict(node);
+            if n > 0 {
+                self.epochs[i] += 1;
+            }
+            total += n;
+        }
+        total
     }
 
     /// Clear one node's own table (it departed).
     pub fn clear_node(&mut self, node: NodeId) {
         let dim = self.tables[node.idx()].positive.len();
         self.tables[node.idx()] = IndexTable::new(dim, self.kmax);
+        self.epochs[node.idx()] += 1;
     }
 }
 

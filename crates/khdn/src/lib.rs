@@ -14,7 +14,7 @@
 //! each reporting qualified cached records to the requester.
 
 use rand::{Rng, RngExt};
-use soc_can::greedy_next_hop;
+use soc_inscan::Router;
 use soc_net::MsgKind;
 use soc_overlay::{
     Candidate, Ctx, DiscoveryOverlay, QueryRequest, QueryVerdict, RecordCache, StateRecord,
@@ -137,6 +137,10 @@ pub struct KhdnCan {
     caches: Vec<RecordCache>,
     tracks: HashMap<QueryId, QueryTrack>,
     route_budget: u32,
+    /// Routed-message facade (greedy CAN steps for state-update routing,
+    /// replication targeting and query routing), `SOC_ROUTE`-cached like
+    /// PID-CAN's.
+    router: Router,
     /// Recycled buffer for cache probes (one `qualified_into` per duty or
     /// sweep visit; no per-visit Vec).
     found_buf: Vec<StateRecord>,
@@ -150,6 +154,7 @@ impl KhdnCan {
             caches: vec![RecordCache::new(cfg.record_ttl_ms); max_nodes],
             tracks: HashMap::new(),
             route_budget: 4 * (n.max(2) as f64).log2().ceil() as u32 + 16,
+            router: Router::from_env(),
             found_buf: Vec::new(),
         }
     }
@@ -406,14 +411,14 @@ impl KhdnCan {
     /// Route a message toward `target` greedily; returns `true` when `node`
     /// owns it.
     fn forward(
-        &self,
+        &mut self,
         ctx: &mut Ctx<'_, KhdnMsg>,
         node: NodeId,
         target: &ResVec,
         kind: MsgKind,
         msg: KhdnMsg,
     ) -> bool {
-        match greedy_next_hop(ctx.can, node, target) {
+        match self.router.greedy_hop(ctx.can, node, target) {
             None => true,
             Some(next) => {
                 ctx.send(node, next, kind, msg);

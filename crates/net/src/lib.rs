@@ -15,4 +15,4 @@ pub mod latency;
 pub mod stats;
 
 pub use latency::{LanTopology, LatencyConfig};
-pub use stats::{MsgKind, MsgStats, MSG_KINDS};
+pub use stats::{MsgCounts, MsgKind, MsgStats, MSG_KINDS};

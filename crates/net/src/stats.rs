@@ -1,7 +1,5 @@
 //! Message-delivery accounting (the paper's "message delivery cost").
 
-use soc_types::NodeId;
-
 /// Every message class exchanged by any protocol in the evaluation.
 ///
 /// Table III's "msg delivery cost" sums all of these; keeping them separate
@@ -70,13 +68,53 @@ impl MsgKind {
     }
 }
 
+/// Per-kind message counts accumulated locally by one protocol callback
+/// (see `soc_overlay::Ctx`), flushed into [`MsgStats`] in a single batch.
+///
+/// A callback that forwards a burst of messages touches this small stack
+/// array instead of issuing one scattered `MsgStats` write per message.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MsgCounts {
+    by_kind: [u64; MSG_KINDS],
+}
+
+impl MsgCounts {
+    /// All-zero counts.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count `n` messages of `kind`.
+    #[inline]
+    pub fn add(&mut self, kind: MsgKind, n: u64) {
+        self.by_kind[kind as usize] += n;
+    }
+
+    /// Count of `kind`.
+    pub fn count(&self, kind: MsgKind) -> u64 {
+        self.by_kind[kind as usize]
+    }
+
+    /// True when nothing was counted (the flush can be skipped).
+    pub fn is_zero(&self) -> bool {
+        self.by_kind.iter().all(|&c| c == 0)
+    }
+
+    /// Reset to zero (buffer reuse between callbacks).
+    pub fn clear(&mut self) {
+        self.by_kind = [0; MSG_KINDS];
+    }
+}
+
 /// Counters of messages *sent or forwarded*, per kind.
 ///
 /// The paper's headline metric divides the grand total by the node count —
 /// no per-node counter is needed for any reported quantity, so `record` is
 /// a pair of array/scalar increments with no per-node storage (the earlier
 /// per-node `Vec<u64>` cost an `n`-sized allocation per run and a scattered
-/// memory write per message for data only tests ever read).
+/// memory write per message for data only tests ever read). Hot callers
+/// batch through [`MsgCounts`] and flush once per protocol callback
+/// ([`MsgStats::record_batch`]).
 #[derive(Clone, Debug)]
 pub struct MsgStats {
     by_kind: [u64; MSG_KINDS],
@@ -94,17 +132,26 @@ impl MsgStats {
         }
     }
 
-    /// Record one message of `kind` sent (or forwarded) by `from`.
+    /// Record one message of `kind` sent (or forwarded).
     #[inline]
-    pub fn record(&mut self, kind: MsgKind, from: NodeId) {
-        self.record_n(kind, from, 1);
+    pub fn record(&mut self, kind: MsgKind) {
+        self.record_n(kind, 1);
     }
 
     /// Record `n` messages at once (synchronous maintenance walks).
     #[inline]
-    pub fn record_n(&mut self, kind: MsgKind, _from: NodeId, n: u64) {
+    pub fn record_n(&mut self, kind: MsgKind, n: u64) {
         self.by_kind[kind as usize] += n;
         self.total += n;
+    }
+
+    /// Fold one callback's batched counts in (one pass over the fixed-size
+    /// kind array, instead of a write per message).
+    pub fn record_batch(&mut self, counts: &MsgCounts) {
+        for (mine, theirs) in self.by_kind.iter_mut().zip(counts.by_kind) {
+            *mine += theirs;
+            self.total += theirs;
+        }
     }
 
     /// Total messages of `kind`.
@@ -156,9 +203,9 @@ mod tests {
     #[test]
     fn record_updates_all_views() {
         let mut s = MsgStats::new(4);
-        s.record(MsgKind::StateUpdate, NodeId(0));
-        s.record(MsgKind::StateUpdate, NodeId(1));
-        s.record(MsgKind::IndexJump, NodeId(0));
+        s.record(MsgKind::StateUpdate);
+        s.record(MsgKind::StateUpdate);
+        s.record(MsgKind::IndexJump);
         assert_eq!(s.count(MsgKind::StateUpdate), 2);
         assert_eq!(s.count(MsgKind::IndexJump), 1);
         assert_eq!(s.count(MsgKind::DutyQuery), 0);
@@ -170,18 +217,42 @@ mod tests {
     #[test]
     fn record_n_batches() {
         let mut s = MsgStats::new(2);
-        s.record_n(MsgKind::Maintenance, NodeId(0), 17);
+        s.record_n(MsgKind::Maintenance, 17);
         assert_eq!(s.count(MsgKind::Maintenance), 17);
         assert_eq!(s.total(), 17);
+    }
+
+    #[test]
+    fn record_batch_equals_per_message_records() {
+        let mut batched = MsgStats::new(2);
+        let mut scattered = MsgStats::new(2);
+        let mut c = MsgCounts::new();
+        for _ in 0..3 {
+            c.add(MsgKind::DutyQuery, 1);
+            scattered.record(MsgKind::DutyQuery);
+        }
+        c.add(MsgKind::Maintenance, 7);
+        scattered.record_n(MsgKind::Maintenance, 7);
+        assert!(!c.is_zero());
+        assert_eq!(c.count(MsgKind::DutyQuery), 3);
+        batched.record_batch(&c);
+        assert_eq!(batched.total(), scattered.total());
+        for k in MsgKind::ALL {
+            assert_eq!(batched.count(k), scattered.count(k));
+        }
+        c.clear();
+        assert!(c.is_zero());
+        batched.record_batch(&c);
+        assert_eq!(batched.total(), scattered.total());
     }
 
     #[test]
     fn breakdown_is_sorted_and_sparse() {
         let mut s = MsgStats::new(2);
         for _ in 0..5 {
-            s.record(MsgKind::IndexDiffusion, NodeId(0));
+            s.record(MsgKind::IndexDiffusion);
         }
-        s.record(MsgKind::Dispatch, NodeId(1));
+        s.record(MsgKind::Dispatch);
         let b = s.breakdown();
         assert_eq!(b.len(), 2);
         assert_eq!(b[0], (MsgKind::IndexDiffusion, 5));
@@ -191,7 +262,7 @@ mod tests {
     #[test]
     fn clear_resets() {
         let mut s = MsgStats::new(2);
-        s.record(MsgKind::Maintenance, NodeId(1));
+        s.record(MsgKind::Maintenance);
         s.clear();
         assert_eq!(s.total(), 0);
         assert_eq!(s.count(MsgKind::Maintenance), 0);

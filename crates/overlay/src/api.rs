@@ -2,7 +2,7 @@
 
 use rand::rngs::SmallRng;
 use soc_can::CanOverlay;
-use soc_net::MsgKind;
+use soc_net::{MsgCounts, MsgKind};
 use soc_types::{NodeId, QueryId, ResVec, SimMillis};
 
 /// Protocol-defined timer discriminant (e.g. "state-update cycle",
@@ -90,17 +90,6 @@ pub enum Effect<M> {
         /// `QueryResults` reaching `wanted`).
         verdict: QueryVerdict,
     },
-    /// Charge `count` messages of `kind` to `node`'s traffic account
-    /// without scheduling deliveries (synchronous maintenance walks, e.g.
-    /// INSCAN finger-refresh probes).
-    Charge {
-        /// Node paying for the traffic.
-        node: NodeId,
-        /// Accounting class.
-        kind: MsgKind,
-        /// Number of messages.
-        count: u64,
-    },
 }
 
 /// The world as a protocol handler sees it for the duration of one event.
@@ -114,6 +103,10 @@ pub struct Ctx<'a, M> {
     /// Protocol randomness (its own deterministic stream).
     pub rng: &'a mut SmallRng,
     effects: Vec<Effect<M>>,
+    /// Per-kind counts of everything sent or charged in this callback,
+    /// flushed by the runner as one `MsgStats::record_batch` instead of a
+    /// scattered counter write per message.
+    sent: MsgCounts,
 }
 
 impl<'a, M> Ctx<'a, M> {
@@ -130,6 +123,7 @@ impl<'a, M> Ctx<'a, M> {
             host,
             rng,
             effects: Vec::new(),
+            sent: MsgCounts::new(),
         }
     }
 
@@ -152,11 +146,13 @@ impl<'a, M> Ctx<'a, M> {
             host,
             rng,
             effects: buffer,
+            sent: MsgCounts::new(),
         }
     }
 
-    /// Queue a message send.
+    /// Queue a message send (counted against `from`'s traffic).
     pub fn send(&mut self, from: NodeId, to: NodeId, kind: MsgKind, msg: M) {
+        self.sent.add(kind, 1);
         self.effects.push(Effect::Send {
             from,
             to,
@@ -181,16 +177,18 @@ impl<'a, M> Ctx<'a, M> {
     }
 
     /// Charge maintenance traffic performed synchronously (e.g. finger
-    /// refresh walks) to `node`.
+    /// refresh walks) to `node`'s account. Pure accounting — no effect is
+    /// queued; the counts flush with everything else in [`Ctx::finish`].
     pub fn charge(&mut self, node: NodeId, kind: MsgKind, count: u64) {
-        if count > 0 {
-            self.effects.push(Effect::Charge { node, kind, count });
-        }
+        let _ = node;
+        self.sent.add(kind, count);
     }
 
-    /// Drain the queued effects (runner-side).
-    pub fn into_effects(self) -> Vec<Effect<M>> {
-        self.effects
+    /// Drain the queued effects and the batched traffic counts
+    /// (runner-side). The counts cover every `send` and `charge` this
+    /// context saw and are folded into `MsgStats` in one batch.
+    pub fn finish(self) -> (Vec<Effect<M>>, MsgCounts) {
+        (self.effects, self.sent)
     }
 
     /// Normalize a raw resource vector into CAN key-space coordinates.
@@ -289,7 +287,7 @@ mod tests {
     }
 
     #[test]
-    fn ctx_queues_effects_in_order() {
+    fn ctx_queues_effects_in_order_and_batches_accounting() {
         let can = CanOverlay::new(2, 4, NodeId(0));
         let host = FakeHost {
             cmax: ResVec::from_slice(&[2.0, 2.0]),
@@ -300,8 +298,9 @@ mod tests {
         ctx.timer(NodeId(0), 3, 100);
         ctx.query_results(QueryId(9), vec![]);
         ctx.query_done(QueryId(9), QueryVerdict::Exhausted);
-        let fx = ctx.into_effects();
-        assert_eq!(fx.len(), 4);
+        ctx.charge(NodeId(2), MsgKind::Maintenance, 5);
+        let (fx, sent) = ctx.finish();
+        assert_eq!(fx.len(), 4, "charge is accounting, not an effect");
         assert!(matches!(fx[0], Effect::Send { to: NodeId(1), .. }));
         assert!(matches!(
             fx[1],
@@ -319,6 +318,9 @@ mod tests {
                 ..
             }
         ));
+        assert_eq!(sent.count(MsgKind::DutyQuery), 1);
+        assert_eq!(sent.count(MsgKind::Maintenance), 5);
+        assert_eq!(sent.count(MsgKind::Dispatch), 0);
     }
 
     #[test]

@@ -89,10 +89,10 @@ impl<P: DiscoveryOverlay> TestHarness<P> {
         {
             let mut ctx = Ctx::new(0, &can, &host, &mut rng);
             proto.on_start(&mut ctx);
-            let fx = ctx.into_effects();
+            let (fx, sent) = ctx.finish();
+            stats.record_batch(&sent);
             let mut h = ApplySink {
                 queue: &mut queue,
-                stats: &mut stats,
                 results: &mut HashMap::new(),
                 done: &mut HashMap::new(),
                 host: &host,
@@ -116,7 +116,8 @@ impl<P: DiscoveryOverlay> TestHarness<P> {
     pub fn start_query(&mut self, req: QueryRequest) {
         let mut ctx = Ctx::new(self.queue.now(), &self.can, &self.host, &mut self.rng);
         self.proto.start_query(&mut ctx, req);
-        let fx = ctx.into_effects();
+        let (fx, sent) = ctx.finish();
+        self.stats.record_batch(&sent);
         self.apply(fx);
     }
 
@@ -125,7 +126,6 @@ impl<P: DiscoveryOverlay> TestHarness<P> {
         {
             let mut sink = ApplySink {
                 queue: &mut self.queue,
-                stats: &mut self.stats,
                 results: &mut self.results,
                 done: &mut self.done,
                 host: &self.host,
@@ -136,7 +136,8 @@ impl<P: DiscoveryOverlay> TestHarness<P> {
         for (from, to, msg) in dropped {
             let mut ctx = Ctx::new(self.queue.now(), &self.can, &self.host, &mut self.rng);
             self.proto.on_message_dropped(&mut ctx, from, to, msg);
-            let fx = ctx.into_effects();
+            let (fx, sent) = ctx.finish();
+            self.stats.record_batch(&sent);
             self.apply(fx);
         }
     }
@@ -159,7 +160,8 @@ impl<P: DiscoveryOverlay> TestHarness<P> {
                     }
                 }
             }
-            let fx = ctx.into_effects();
+            let (fx, sent) = ctx.finish();
+            self.stats.record_batch(&sent);
             self.apply(fx);
         }
         n
@@ -179,7 +181,8 @@ impl<P: DiscoveryOverlay> TestHarness<P> {
                     }
                 }
             }
-            let fx = ctx.into_effects();
+            let (fx, sent) = ctx.finish();
+            self.stats.record_batch(&sent);
             self.apply(fx);
         }
         n
@@ -198,7 +201,6 @@ impl<P: DiscoveryOverlay> TestHarness<P> {
 
 struct ApplySink<'s, M> {
     queue: &'s mut EventQueue<Ev<M>>,
-    stats: &'s mut MsgStats,
     results: &'s mut HashMap<QueryId, Vec<Candidate>>,
     done: &'s mut HashMap<QueryId, QueryVerdict>,
     host: &'s TestHost,
@@ -207,15 +209,11 @@ struct ApplySink<'s, M> {
 
 impl<M> ApplySink<'_, M> {
     fn apply(&mut self, fx: Vec<Effect<M>>, _depth: usize) {
+        // Traffic accounting already happened in batch when the producing
+        // `Ctx` was finished; effects only move data.
         for f in fx {
             match f {
-                Effect::Send {
-                    from,
-                    to,
-                    kind,
-                    msg,
-                } => {
-                    self.stats.record(kind, from);
+                Effect::Send { from, to, msg, .. } => {
                     if self.host.is_alive(to) {
                         self.queue.schedule_in(1, Ev::Msg { from, to, msg });
                     } else {
@@ -231,9 +229,6 @@ impl<M> ApplySink<'_, M> {
                 }
                 Effect::QueryDone { qid, verdict } => {
                     self.done.insert(qid, verdict);
-                }
-                Effect::Charge { node, kind, count } => {
-                    self.stats.record_n(kind, node, count);
                 }
             }
         }

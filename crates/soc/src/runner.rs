@@ -250,7 +250,9 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
         self.live[self.rng_churn.random_range(0..self.live.len())]
     }
 
-    /// Run one protocol callback and apply its effects.
+    /// Run one protocol callback and apply its effects. The callback's
+    /// batched per-kind traffic counts flush as a single `record_batch`
+    /// here instead of one scattered `MsgStats` write per message.
     fn with_proto<F>(&mut self, f: F)
     where
         F: FnOnce(&mut P, &mut Ctx<'_, P::Msg>),
@@ -264,11 +266,16 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
             buf,
         );
         f(&mut self.proto, &mut ctx);
-        let fx = ctx.into_effects();
+        let (fx, sent) = ctx.finish();
+        self.stats.record_batch(&sent);
         self.fx_buf = self.apply_effects(fx);
     }
 
     /// Apply queued effects; returns the drained buffer for reuse.
+    ///
+    /// Latency sampling stays here, per message in effect order, so the
+    /// `rng_net` stream (and with it every fingerprint) is byte-for-byte
+    /// what it was when accounting was interleaved per message.
     fn apply_effects(&mut self, mut work: Vec<Effect<P::Msg>>) -> Vec<Effect<P::Msg>> {
         // Iterate: drops may generate follow-up effects (hop budgets bound
         // the chain).
@@ -279,10 +286,9 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
                     Effect::Send {
                         from,
                         to,
-                        kind,
+                        kind: _,
                         msg,
                     } => {
-                        self.stats.record(kind, from);
                         if self.hosts.alive[to.idx()] {
                             let lat = self.topo.latency(from, to, &mut self.rng_net);
                             self.queue
@@ -295,7 +301,9 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
                                 &mut self.rng_proto,
                             );
                             self.proto.on_message_dropped(&mut ctx, from, to, msg);
-                            next.extend(ctx.into_effects());
+                            let (fx, sent) = ctx.finish();
+                            self.stats.record_batch(&sent);
+                            next.extend(fx);
                         }
                     }
                     Effect::Timer { node, kind, delay } => {
@@ -308,9 +316,6 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
                     Effect::QueryDone { qid, verdict } => {
                         debug_assert_eq!(verdict, QueryVerdict::Exhausted);
                         self.settle_query(qid);
-                    }
-                    Effect::Charge { node, kind, count } => {
-                        self.stats.record_n(kind, node, count);
                     }
                 }
             }
@@ -388,7 +393,7 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
 
     /// Ship a task to `target`, charging the dispatch transfer.
     fn dispatch_to(&mut self, target: NodeId, spec: DispatchSpec) {
-        self.stats.record(MsgKind::Dispatch, spec.requester);
+        self.stats.record(MsgKind::Dispatch);
         let delay = if target == spec.requester {
             1
         } else {
