@@ -375,6 +375,7 @@ impl PerfReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use soc_types::knobs;
 
     #[test]
     fn json_shape_is_sane() {
@@ -459,9 +460,9 @@ mod tests {
         std::env::set_var("SOC_PERF_GUARD_TEST", "orig");
         {
             let _g = env_guard("SOC_PERF_GUARD_TEST", Some("temp".into()));
-            assert_eq!(std::env::var("SOC_PERF_GUARD_TEST").unwrap(), "temp");
+            assert_eq!(knobs::raw("SOC_PERF_GUARD_TEST").unwrap(), "temp");
         }
-        assert_eq!(std::env::var("SOC_PERF_GUARD_TEST").unwrap(), "orig");
+        assert_eq!(knobs::raw("SOC_PERF_GUARD_TEST").unwrap(), "orig");
         std::env::remove_var("SOC_PERF_GUARD_TEST");
     }
 }

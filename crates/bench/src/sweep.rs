@@ -13,6 +13,7 @@
 //! `std::thread::available_parallelism()`. No rayon — plain
 //! `std::thread::scope` keeps the build offline-friendly.
 
+use soc_types::knobs;
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -46,7 +47,7 @@ pub fn thread_count() -> usize {
     if let Some(n) = THREAD_OVERRIDE.with(|c| c.get()) {
         return n;
     }
-    if let Ok(v) = std::env::var("SOC_BENCH_THREADS") {
+    if let Some(v) = knobs::raw("SOC_BENCH_THREADS") {
         if let Ok(n) = v.trim().parse::<usize>() {
             return n.max(1);
         }

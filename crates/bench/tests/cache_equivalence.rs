@@ -18,7 +18,7 @@ use soc_bench::{diag_lambda05, fig4, table3, Scale};
 use soc_sim::RunReport;
 
 fn with_cache<T>(backend: &str, f: impl FnOnce() -> T) -> T {
-    let prev = std::env::var("SOC_CACHE").ok();
+    let prev = soc_types::knobs::raw("SOC_CACHE");
     std::env::set_var("SOC_CACHE", backend);
     let out = f();
     match prev {

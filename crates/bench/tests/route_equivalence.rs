@@ -26,7 +26,7 @@ static ENV_LOCK: Mutex<()> = Mutex::new(());
 
 fn with_route<T>(backend: &str, f: impl FnOnce() -> T) -> T {
     let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-    let prev = std::env::var("SOC_ROUTE").ok();
+    let prev = soc_types::knobs::raw("SOC_ROUTE");
     std::env::set_var("SOC_ROUTE", backend);
     let out = f();
     match prev {

@@ -130,11 +130,19 @@ impl PartitionTree {
         }
     }
 
-    /// All `(owner, zone)` pairs.
+    /// All `(owner, zone)` pairs, ordered by owner id.
+    ///
+    /// `leaf_of` is a HashMap, so its raw iteration order is arbitrary;
+    /// sorting here keeps every caller deterministic by construction
+    /// instead of trusting each call site to normalize.
     pub fn leaves(&self) -> impl Iterator<Item = (NodeId, &Zone)> + '_ {
-        self.leaf_of
+        let mut out: Vec<(NodeId, &Zone)> = self
+            .leaf_of // soc-lint: allow(no-unordered-iter) -- order normalized by the sort below
             .iter()
-            .map(move |(&id, &i)| (id, &self.nodes[i].zone))
+            .map(|(&id, &i)| (id, &self.nodes[i].zone))
+            .collect();
+        out.sort_unstable_by_key(|&(id, _)| id); // soc-lint: allow(no-unstable-sort) -- map keys are unique, stability is moot
+        out.into_iter()
     }
 
     fn alloc(&mut self, n: TreeNode) -> usize {
@@ -326,6 +334,7 @@ impl PartitionTree {
             }
         }
         // leaf_of is consistent.
+        // soc-lint: allow(no-unordered-iter) -- order-blind validation: each entry is checked independently
         for (&id, &idx) in &self.leaf_of {
             match self.nodes[idx].kind {
                 NodeKind::Leaf(o) if o == id => {}

@@ -821,6 +821,7 @@ impl DiscoveryOverlay for PidCan {
         // Abandon queries the departed requester owned. Fingers elsewhere
         // that still point at the dead node are skipped by routing and
         // fixed by the periodic refresh / `on_zones_reassigned`.
+        // soc-lint: allow(no-unordered-iter) -- per-entry removal with no cross-entry effects; visit order cannot leak
         self.queries.retain(|_, q| q.requester != node);
     }
 

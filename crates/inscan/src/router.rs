@@ -48,11 +48,16 @@ impl RouteBackend {
     /// Backend selected by the `SOC_ROUTE` environment variable (`scan` or
     /// `cached`, case-insensitive); defaults to `Cached`.
     ///
-    /// Read on every router construction — deliberately uncached so a
-    /// single process can A/B both backends (`repro perf`).
+    /// This is the single place `SOC_ROUTE` is parsed (the raw read lives
+    /// in `soc_types::knobs::raw`, the one `env::var` site for all
+    /// `SOC_*` knobs). Still read on every router construction —
+    /// deliberately not `OnceLock`-cached, because the equivalence suites
+    /// and `repro perf` flip the variable between runs inside one process
+    /// to A/B both backends; a process-global cache would freeze the
+    /// first value and reduce those bitwise checks to self-comparisons.
     pub fn from_env() -> Self {
-        match std::env::var("SOC_ROUTE") {
-            Ok(v) if v.eq_ignore_ascii_case("scan") => RouteBackend::Scan,
+        match soc_types::knobs::raw("SOC_ROUTE") {
+            Some(v) if v.eq_ignore_ascii_case("scan") => RouteBackend::Scan,
             _ => RouteBackend::Cached,
         }
     }
@@ -315,7 +320,7 @@ mod tests {
     fn env_selection_defaults_to_cached() {
         // Not a parallel-safe env test (process-global): only assert the
         // default when the variable is absent.
-        if std::env::var("SOC_ROUTE").is_err() {
+        if soc_types::knobs::raw("SOC_ROUTE").is_none() {
             assert_eq!(RouteBackend::from_env(), RouteBackend::Cached);
         }
         assert_eq!(

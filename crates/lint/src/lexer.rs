@@ -1,0 +1,598 @@
+//! A minimal Rust lexer for `soc-lint`: just enough to strip comments and
+//! string/char literals reliably, attach line numbers to tokens, collect
+//! `// soc-lint:` pragma comments, and mark `#[cfg(test)]` regions.
+//!
+//! This is deliberately **not** a parser (no `syn` offline — see the
+//! crate docs): rules match token patterns, so the lexer's only hard job
+//! is never confusing a string literal, a lifetime or a comment with
+//! code. Handled: line + nested block comments, `"…"` with escapes,
+//! raw strings `r"…"` / `r#"…"#`, byte strings/chars, char literals vs
+//! lifetimes, doc comments (stripped like any comment).
+
+/// What a token is; rules mostly match on [`TokenKind::Ident`] sequences.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// String literal (normal, raw or byte); `text` is the *content*,
+    /// without quotes/hashes, escapes left as written.
+    Str,
+    /// Numeric literal (value never matters to any rule).
+    Num,
+    /// Lifetime (`'a`); kept distinct so `'a` is never a char literal.
+    Life,
+    /// Any other single character (`:`, `(`, `{`, `#`, …).
+    Punct(char),
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    /// True for an identifier token with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True for this punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// A `// soc-lint: allow(rule[, rule]) -- reason` comment.
+#[derive(Clone, Debug)]
+pub struct Pragma {
+    /// Line the comment itself is on.
+    pub line: u32,
+    /// Line the suppression applies to: the comment's own line for a
+    /// trailing comment, the next code line for a standalone one.
+    pub target_line: u32,
+    /// Rules named inside `allow(…)`.
+    pub rules: Vec<String>,
+    /// Justification after `--` (may be empty — the engine rejects that).
+    pub reason: String,
+    /// Set when the comment mentions `soc-lint` but does not parse.
+    pub malformed: bool,
+}
+
+/// A lexed source file.
+pub struct SourceFile {
+    pub tokens: Vec<Token>,
+    pub pragmas: Vec<Pragma>,
+    /// Token-index ranges `[start, end)` lexically inside a
+    /// `#[cfg(test)]` item (the attribute tokens themselves included).
+    test_regions: Vec<(usize, usize)>,
+}
+
+impl SourceFile {
+    /// Lex `src`. Never fails: unterminated literals simply swallow the
+    /// rest of the file (the engine lints what it got).
+    pub fn parse(src: &str) -> SourceFile {
+        let mut lx = Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            tokens: Vec::new(),
+            comments: Vec::new(),
+        };
+        lx.run();
+        let pragmas = collect_pragmas(&lx.comments, &lx.tokens);
+        let test_regions = find_test_regions(&lx.tokens);
+        SourceFile {
+            tokens: lx.tokens,
+            pragmas,
+            test_regions,
+        }
+    }
+
+    /// Is token index `i` inside a `#[cfg(test)]` item?
+    pub fn in_test_region(&self, i: usize) -> bool {
+        self.test_regions.iter().any(|&(s, e)| s <= i && i < e)
+    }
+}
+
+/// Raw comment captured during lexing, before pragma interpretation.
+struct Comment {
+    line: u32,
+    text: String,
+    /// Index into `tokens` of the first token lexed *after* this comment
+    /// (== `tokens.len()` at capture time).
+    next_token: usize,
+    /// Whether some token had already been emitted on the same line.
+    trailing: bool,
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+    comments: Vec<Comment>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.tokens.push(Token { kind, text, line });
+    }
+
+    fn last_token_on_current_line(&self) -> bool {
+        self.tokens.last().is_some_and(|t| t.line == self.line)
+    }
+
+    fn run(&mut self) {
+        while let Some(c) = self.peek(0) {
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(),
+                'r' | 'b' if self.raw_or_byte_literal() => {}
+                '\'' => self.char_or_lifetime(),
+                c if c.is_ascii_digit() => self.number(),
+                c if c.is_alphanumeric() || c == '_' => self.ident(),
+                _ => {
+                    let line = self.line;
+                    let c = self.bump().unwrap();
+                    self.push(TokenKind::Punct(c), c.to_string(), line);
+                }
+            }
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let trailing = self.last_token_on_current_line();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(self.bump().unwrap());
+        }
+        self.comments.push(Comment {
+            line,
+            text,
+            next_token: self.tokens.len(),
+            trailing,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        // `/*` consumed below; Rust block comments nest.
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    fn string(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    // Keep the escape as written; consume the escaped char
+                    // so `\"` never terminates the literal.
+                    text.push(c);
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                '"' => break,
+                _ => text.push(c),
+            }
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    /// Handle `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'x'`. Returns false
+    /// (consuming nothing) when the `r`/`b` is an ordinary identifier.
+    fn raw_or_byte_literal(&mut self) -> bool {
+        let mut ahead = 1; // past the r/b
+        let first = self.peek(0).unwrap();
+        let mut raw = first == 'r';
+        if first == 'b' {
+            match self.peek(1) {
+                Some('\'') => {
+                    // Byte char b'x': consume prefix, delegate.
+                    self.bump();
+                    self.char_or_lifetime();
+                    return true;
+                }
+                Some('"') => {
+                    self.bump();
+                    self.string();
+                    return true;
+                }
+                Some('r') => {
+                    raw = true;
+                    ahead = 2;
+                }
+                _ => return false,
+            }
+        }
+        if !raw {
+            return false;
+        }
+        let mut hashes = 0usize;
+        while self.peek(ahead) == Some('#') {
+            hashes += 1;
+            ahead += 1;
+        }
+        if self.peek(ahead) != Some('"') {
+            return false; // identifier like `r` or `br`, or `r#ident`
+        }
+        let line = self.line;
+        for _ in 0..=ahead {
+            self.bump(); // prefix, hashes, opening quote
+        }
+        let mut text = String::new();
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                // Need `hashes` following '#'s to close.
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        text.push('"');
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+            text.push(c);
+        }
+        self.push(TokenKind::Str, text, line);
+        true
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        self.bump(); // the quote
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume to the closing quote.
+                self.bump();
+                self.bump(); // escaped char
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Str, String::new(), line);
+            }
+            Some(c) if (c.is_alphanumeric() || c == '_') && self.peek(1) != Some('\'') => {
+                // Lifetime: 'ident not followed by a closing quote.
+                let mut name = String::new();
+                while let Some(c) = self.peek(0) {
+                    if c.is_alphanumeric() || c == '_' {
+                        name.push(self.bump().unwrap());
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Life, name, line);
+            }
+            Some(_) => {
+                // Plain char literal 'x' (incl. 'x' where x is punct).
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(TokenKind::Str, String::new(), line);
+            }
+            None => {}
+        }
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(self.bump().unwrap());
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // `1.5` continues the number; `0..n` does not.
+                text.push(self.bump().unwrap());
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Num, text, line);
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(self.bump().unwrap());
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident, text, line);
+    }
+}
+
+/// Interpret captured comments: any comment whose text contains
+/// `soc-lint` becomes a [`Pragma`] (malformed when it doesn't parse).
+fn collect_pragmas(comments: &[Comment], tokens: &[Token]) -> Vec<Pragma> {
+    let mut out = Vec::new();
+    for c in comments {
+        // A pragma must *begin* with `soc-lint:` (after the `//`/`//!`
+        // markers) — prose that merely mentions the tool, or usage text
+        // like `soc-lint [--root PATH]`, is not one. The colon is part of
+        // the required prefix; everything after it may still be malformed.
+        let body = c.text.trim_start_matches(['/', '!']).trim_start();
+        if !body.starts_with("soc-lint") || !body["soc-lint".len()..].trim_start().starts_with(':')
+        {
+            continue;
+        }
+        let at = c.text.find("soc-lint").expect("prefix-checked above");
+        let target_line = if c.trailing {
+            c.line
+        } else {
+            // Standalone comment: applies to the next code line.
+            tokens.get(c.next_token).map(|t| t.line).unwrap_or(c.line)
+        };
+        let body = &c.text[at + "soc-lint".len()..];
+        let parsed = parse_pragma_body(body);
+        match parsed {
+            Some((rules, reason)) => out.push(Pragma {
+                line: c.line,
+                target_line,
+                rules,
+                reason,
+                malformed: false,
+            }),
+            None => out.push(Pragma {
+                line: c.line,
+                target_line,
+                rules: Vec::new(),
+                reason: String::new(),
+                malformed: true,
+            }),
+        }
+    }
+    out
+}
+
+/// Parse `: allow(rule[, rule]) -- reason` (the part after `soc-lint`).
+fn parse_pragma_body(body: &str) -> Option<(Vec<String>, String)> {
+    let body = body.trim_start();
+    let body = body.strip_prefix(':')?.trim_start();
+    let body = body.strip_prefix("allow")?.trim_start();
+    let body = body.strip_prefix('(')?;
+    let close = body.find(')')?;
+    let rules: Vec<String> = body[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return None;
+    }
+    let rest = body[close + 1..].trim_start();
+    let reason = match rest.strip_prefix("--") {
+        Some(r) => r.trim().to_string(),
+        None => String::new(), // missing reason: kept, engine flags it
+    };
+    Some((rules, reason))
+}
+
+/// Find `#[cfg(test)]` items and return their token-index extents.
+fn find_test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 6 < tokens.len() {
+        let hit = tokens[i].is_punct('#')
+            && tokens[i + 1].is_punct('[')
+            && tokens[i + 2].is_ident("cfg")
+            && tokens[i + 3].is_punct('(')
+            && tokens[i + 4].is_ident("test")
+            && tokens[i + 5].is_punct(')')
+            && tokens[i + 6].is_punct(']');
+        if !hit {
+            i += 1;
+            continue;
+        }
+        // Skip any further attributes, then the item header, up to the
+        // item's opening brace; the region ends at its matching brace.
+        let mut j = i + 7;
+        while j < tokens.len() && tokens[j].is_punct('#') {
+            // Balanced [...] attribute.
+            let mut depth = 0usize;
+            j += 1;
+            while j < tokens.len() {
+                if tokens[j].is_punct('[') {
+                    depth += 1;
+                } else if tokens[j].is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        // Header: everything up to `{` or `;` (a `#[cfg(test)] mod x;`
+        // out-of-line module: region is just the declaration).
+        while j < tokens.len() && !tokens[j].is_punct('{') && !tokens[j].is_punct(';') {
+            j += 1;
+        }
+        if j >= tokens.len() || tokens[j].is_punct(';') {
+            out.push((i, j.min(tokens.len())));
+            i = j + 1;
+            continue;
+        }
+        let mut depth = 0usize;
+        while j < tokens.len() {
+            if tokens[j].is_punct('{') {
+                depth += 1;
+            } else if tokens[j].is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+        out.push((i, j));
+        i = j;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        SourceFile::parse(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_not_code() {
+        let src = r##"
+            // Instant::now in a comment
+            /* SystemTime in /* a nested */ block */
+            let s = "Instant::now(\") still a string";
+            let r = r#"SystemTime "quoted" raw"#;
+            let b = b"HashMap";
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"SystemTime".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; let u = '_'; }";
+        let f = SourceFile::parse(src);
+        let lifes: Vec<_> = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Life)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifes, ["a", "a"]);
+        // The char literals must not have eaten following code.
+        assert!(f.tokens.iter().any(|t| t.is_ident("u")));
+    }
+
+    #[test]
+    fn token_lines_are_tracked() {
+        let f = SourceFile::parse("a\nb\n\nc");
+        let lines: Vec<u32> = f.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+
+    #[test]
+    fn pragma_trailing_and_standalone_targets() {
+        let src = "\
+let x = 1; // soc-lint: allow(no-wall-clock) -- trailing
+// soc-lint: allow(no-unordered-iter, no-unstable-sort) -- standalone
+let y = 2;
+";
+        let f = SourceFile::parse(src);
+        assert_eq!(f.pragmas.len(), 2);
+        assert_eq!(f.pragmas[0].target_line, 1);
+        assert_eq!(f.pragmas[0].rules, ["no-wall-clock"]);
+        assert_eq!(f.pragmas[0].reason, "trailing");
+        assert_eq!(f.pragmas[1].target_line, 3);
+        assert_eq!(
+            f.pragmas[1].rules,
+            ["no-unordered-iter", "no-unstable-sort"]
+        );
+    }
+
+    #[test]
+    fn pragma_without_reason_or_garbled_is_malformed() {
+        let f = SourceFile::parse("// soc-lint: allow(no-wall-clock)\nlet x = 1;");
+        assert_eq!(f.pragmas.len(), 1);
+        assert!(!f.pragmas[0].malformed);
+        assert!(f.pragmas[0].reason.is_empty());
+
+        let g = SourceFile::parse("// soc-lint: please ignore this\nlet x = 1;");
+        assert_eq!(g.pragmas.len(), 1);
+        assert!(g.pragmas[0].malformed);
+    }
+
+    #[test]
+    fn cfg_test_regions_cover_mod_and_fn() {
+        let src = "\
+fn live() {}
+#[cfg(test)]
+mod tests {
+    use super::*;
+    #[test]
+    fn t() { helper(); }
+}
+fn also_live() {}
+";
+        let f = SourceFile::parse(src);
+        let helper = f.tokens.iter().position(|t| t.is_ident("helper")).unwrap();
+        let live = f.tokens.iter().position(|t| t.is_ident("live")).unwrap();
+        let also = f
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("also_live"))
+            .unwrap();
+        assert!(f.in_test_region(helper));
+        assert!(!f.in_test_region(live));
+        assert!(!f.in_test_region(also));
+    }
+}

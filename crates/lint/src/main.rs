@@ -1,0 +1,85 @@
+//! `soc-lint` CLI: lint the workspace, print `file:line` diagnostics,
+//! exit non-zero on any unjustified finding.
+//!
+//! ```text
+//! soc-lint [--root PATH] [--list-rules]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            // The `cargo soc-lint` alias already ends in `--`, so users
+            // who habitually type `cargo soc-lint -- --list-rules` send a
+            // literal `--` through; treat it as a separator, not an error.
+            "--" => {}
+            "--list-rules" => {
+                for (name, desc) in soc_lint::RULES {
+                    println!("{name:<24} {desc}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("soc-lint: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: soc-lint [--root PATH] [--list-rules]");
+                println!("Determinism-discipline lint for the soc-pidcan workspace.");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("soc-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().expect("cwd");
+            match soc_lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("soc-lint: no workspace root found above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    match soc_lint::lint_workspace(&root) {
+        Ok(report) => {
+            for f in &report.findings {
+                println!("{f}");
+            }
+            if report.clean() {
+                println!(
+                    "soc-lint: clean ({} files, {} justified suppressions)",
+                    report.files_scanned, report.suppressed
+                );
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "soc-lint: {} finding(s) in {} files ({} suppressed)",
+                    report.findings.len(),
+                    report.files_scanned,
+                    report.suppressed
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("soc-lint: io error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

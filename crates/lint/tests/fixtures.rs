@@ -1,0 +1,173 @@
+//! Fixture-workspace integration tests.
+//!
+//! `tests/fixtures/` holds three mini-workspaces the main lint walk
+//! skips (see `skip_dir`): `ws_dirty` seeds at least one violation per
+//! rule (and per meta-rule), `ws_clean` exercises every scoping
+//! exemption, `ws_pragma` suppresses real violations with justified
+//! pragmas in both placements. On top of those, the self-check lints
+//! the *actual* workspace — the tree this file is checked into must be
+//! clean — and the CLI's exit codes are pinned via the built binary.
+
+use soc_lint::{lint_workspace, LintReport};
+use std::path::PathBuf;
+
+fn fixture_root(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn lint_fixture(name: &str) -> LintReport {
+    lint_workspace(&fixture_root(name)).expect("fixture workspace lints")
+}
+
+fn render(r: &LintReport) -> String {
+    r.findings
+        .iter()
+        .map(|f| f.to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn assert_finding(r: &LintReport, rule: &str, path: &str, line: u32) {
+    assert!(
+        r.findings
+            .iter()
+            .any(|f| f.rule == rule && f.path == path && f.line == line),
+        "expected [{rule}] at {path}:{line}; findings were:\n{}",
+        render(r)
+    );
+}
+
+#[test]
+fn dirty_fixture_fires_every_rule() {
+    let r = lint_fixture("ws_dirty");
+    let lib = "crates/engine/src/lib.rs";
+    // no-wall-clock: both the Instant::now and SystemTime forms.
+    assert_finding(&r, "no-wall-clock", lib, 6);
+    assert_finding(&r, "no-wall-clock", lib, 7);
+    // no-unordered-iter: method call and for-in loop.
+    assert_finding(&r, "no-unordered-iter", lib, 12);
+    assert_finding(&r, "no-unordered-iter", lib, 14);
+    assert_finding(&r, "no-unstable-sort", lib, 22);
+    // rng-stream-discipline: ad-hoc seeding and entropy RNG.
+    assert_finding(&r, "rng-stream-discipline", lib, 26);
+    assert_finding(&r, "rng-stream-discipline", lib, 27);
+    // env-knob-registry, read side: a direct env::var of an SOC_ name is
+    // two findings — the bypass of knobs::raw and the missing declaration.
+    assert_finding(&r, "env-knob-registry", lib, 32);
+    assert_eq!(
+        r.findings
+            .iter()
+            .filter(|f| f.rule == "env-knob-registry" && f.path == lib && f.line == 32)
+            .count(),
+        2,
+        "direct undeclared read is both a bypass and an undeclared knob"
+    );
+    // env-knob-registry, declaration side.
+    let knobs = "crates/types/src/knobs.rs";
+    assert_finding(&r, "env-knob-registry", knobs, 5); // no README table
+    assert_finding(&r, "env-knob-registry", knobs, 9); // duplicate + undocumented
+    assert_finding(&r, "env-knob-registry", knobs, 13); // not SOC_UPPER_SNAKE
+
+    // fingerprint-coverage: unencoded field + missing exclusion list.
+    let report = "crates/soc/src/report.rs";
+    assert_finding(&r, "fingerprint-coverage", report, 1);
+    assert_finding(&r, "fingerprint-coverage", report, 8);
+    // ignored-test-wiring: no ci.yml exists to run the suite.
+    assert_finding(
+        &r,
+        "ignored-test-wiring",
+        "crates/engine/tests/ignored.rs",
+        4,
+    );
+    // Meta-rules: malformed, unknown-rule, unused.
+    let bad = "crates/engine/src/bad_pragmas.rs";
+    assert_finding(&r, "malformed-pragma", bad, 4); // missing -- reason
+    assert_finding(&r, "malformed-pragma", bad, 9); // typo'd keyword
+    assert_finding(&r, "unknown-rule", bad, 12);
+    assert_finding(&r, "unused-pragma", bad, 12); // unknown rule suppresses nothing
+    assert_finding(&r, "unused-pragma", bad, 15);
+    // Nothing unexpected beyond the seeded set.
+    assert_eq!(r.findings.len(), 24, "findings were:\n{}", render(&r));
+    assert_eq!(r.suppressed, 0);
+    assert!(!r.clean());
+}
+
+/// The acceptance bar for suppression hygiene: a pragma without a
+/// `-- reason` both fails to suppress the violation it targets *and*
+/// is a finding itself.
+#[test]
+fn reasonless_pragma_does_not_suppress() {
+    let r = lint_fixture("ws_dirty");
+    let bad = "crates/engine/src/bad_pragmas.rs";
+    assert_finding(&r, "malformed-pragma", bad, 4);
+    assert_finding(&r, "no-unstable-sort", bad, 6);
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let r = lint_fixture("ws_clean");
+    assert!(r.clean(), "findings were:\n{}", render(&r));
+    // bench wall clock, cfg(test) iteration, testkit.rs seeding, tests/
+    // tree, registry env::var site: all exempt, none suppressed.
+    assert_eq!(r.suppressed, 0);
+    assert_eq!(r.files_scanned, 5);
+}
+
+#[test]
+fn pragma_fixture_suppresses_with_justifications() {
+    let r = lint_fixture("ws_pragma");
+    assert!(r.clean(), "findings were:\n{}", render(&r));
+    // wall clock, for-in iteration (standalone pragma), unstable sort and
+    // ad-hoc seeding (trailing pragmas).
+    assert_eq!(r.suppressed, 4);
+}
+
+/// The workspace this file is checked into must lint clean: every
+/// surviving `HashMap` iteration, wall-clock read, unstable sort and
+/// ad-hoc RNG seed carries a justified pragma, every knob is declared
+/// and documented, every `#[ignore]` suite is wired into CI.
+#[test]
+fn actual_workspace_is_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let r = lint_workspace(&root).expect("workspace lints");
+    assert!(r.clean(), "workspace findings:\n{}", render(&r));
+    assert!(
+        r.files_scanned > 50,
+        "walk saw only {} files",
+        r.files_scanned
+    );
+    assert!(
+        r.suppressed > 0,
+        "the known allowlisted sites should show up"
+    );
+}
+
+/// CI runs the binary, so pin its exit codes: non-zero (and diagnostics
+/// on stdout) for a seeded violation, zero for a clean tree.
+#[test]
+fn cli_exit_codes_gate_ci() {
+    let dirty = std::process::Command::new(env!("CARGO_BIN_EXE_soc-lint"))
+        .arg("--root")
+        .arg(fixture_root("ws_dirty"))
+        .output()
+        .expect("soc-lint runs");
+    assert!(!dirty.status.success(), "dirty fixture must fail the build");
+    let stdout = String::from_utf8_lossy(&dirty.stdout);
+    assert!(stdout.contains("[no-wall-clock]"), "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("crates/engine/src/lib.rs:6"),
+        "stdout:\n{stdout}"
+    );
+
+    let clean = std::process::Command::new(env!("CARGO_BIN_EXE_soc-lint"))
+        .arg("--root")
+        .arg(fixture_root("ws_clean"))
+        .output()
+        .expect("soc-lint runs");
+    assert!(clean.status.success(), "clean fixture must pass");
+}

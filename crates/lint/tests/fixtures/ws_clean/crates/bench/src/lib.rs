@@ -1,0 +1,7 @@
+//! Harness timing: wall clock is legal inside `crates/bench`.
+
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, u128) {
+    let t0 = std::time::Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_millis())
+}

@@ -1,0 +1,30 @@
+//! Clean sim-path code: keyed map ops (never iteration), stable sorts,
+//! knob reads through the registry, and unordered iteration tucked
+//! inside a `#[cfg(test)]` region where it is exempt.
+
+pub fn keyed_ops(map: &mut HashMap<u32, u32>) -> Option<u32> {
+    map.insert(1, 2);
+    map.get(&1).copied()
+}
+
+pub fn stable_sort(xs: &mut Vec<(u32, u32)>) {
+    xs.sort_by_key(|&(k, _)| k);
+}
+
+pub fn read_knob() -> Option<String> {
+    soc_types::knobs::raw("SOC_DEMO")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_in_tests_is_fine() {
+        let map: HashMap<u32, u32> = HashMap::new();
+        assert_eq!(map.iter().count(), 0);
+        let mut xs = vec![3, 1, 2];
+        xs.sort_unstable();
+        assert_eq!(xs, [1, 2, 3]);
+    }
+}

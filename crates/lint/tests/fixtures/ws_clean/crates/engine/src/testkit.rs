@@ -1,0 +1,12 @@
+//! Deterministic-by-construction test helpers: `testkit.rs` files are
+//! exempt from the sim-path rules (but not from the entropy ban).
+
+pub fn dump(map: &HashMap<u32, u32>) -> Vec<(u32, u32)> {
+    let mut out: Vec<(u32, u32)> = map.iter().map(|(&k, &v)| (k, v)).collect();
+    out.sort_unstable();
+    out
+}
+
+pub fn test_rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}

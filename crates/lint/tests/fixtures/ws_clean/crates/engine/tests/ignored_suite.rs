@@ -1,0 +1,5 @@
+//! An `#[ignore]` suite the ci.yml cron runs by file stem.
+
+#[test]
+#[ignore = "smoke scale: run via the nightly cron"]
+fn smoke() {}

@@ -1,0 +1,15 @@
+//! Minimal registry: the single blessed `env::var` site.
+
+pub struct Knob {
+    pub name: &'static str,
+    pub doc: &'static str,
+}
+
+pub const KNOBS: &[Knob] = &[Knob {
+    name: "SOC_DEMO",
+    doc: "demo knob for the fixture",
+}];
+
+pub fn raw(name: &str) -> Option<String> {
+    std::env::var(name).ok()
+}

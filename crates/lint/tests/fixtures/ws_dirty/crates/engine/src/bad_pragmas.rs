@@ -1,0 +1,16 @@
+//! Pragma-hygiene violations: suppressions that must themselves be
+//! findings, so the allow surface cannot rot.
+
+// soc-lint: allow(no-unstable-sort)
+pub fn reasonless(xs: &mut Vec<u32>) {
+    xs.sort_unstable();
+}
+
+// soc-lint: allaw(no-wall-clock) -- typo'd keyword does not parse
+pub fn typoed() {}
+
+// soc-lint: allow(no-such-rule) -- misremembered rule name
+pub fn unknown() {}
+
+// soc-lint: allow(no-wall-clock) -- nothing on the next line to suppress
+pub fn dead_pragma() {}

@@ -1,0 +1,33 @@
+//! Seeded violations, one per per-file rule. These files only have to
+//! lex, not compile — imports are deliberately omitted so every finding
+//! lands on the line that seeds it.
+
+pub fn wall_clock() -> u64 {
+    let t0 = Instant::now();
+    let _epoch = SystemTime::now();
+    t0.elapsed().as_millis() as u64
+}
+
+pub fn order_leak(map: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut out: Vec<u32> = map.keys().copied().collect();
+    let mut sum = 0;
+    for kv in map {
+        sum += *kv.1;
+    }
+    out.push(sum);
+    out
+}
+
+pub fn unstable(xs: &mut Vec<u32>) {
+    xs.sort_unstable();
+}
+
+pub fn bad_rng() -> u64 {
+    let mut r = SmallRng::seed_from_u64(42);
+    let mut t = thread_rng();
+    r.random::<u64>() ^ t.random::<u64>()
+}
+
+pub fn sneaky_knob() -> Option<String> {
+    std::env::var("SOC_SNEAKY").ok()
+}

@@ -1,0 +1,5 @@
+//! An `#[ignore]` suite no CI workflow ever runs.
+
+#[test]
+#[ignore = "never wired anywhere"]
+fn smoke() {}

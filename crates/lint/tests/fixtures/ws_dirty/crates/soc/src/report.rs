@@ -1,0 +1,15 @@
+//! RunReport stand-in with a hole in fingerprint coverage: `wall_ms`
+//! is neither encoded nor declared excluded, and the
+//! `FINGERPRINT_EXCLUDED` declaration is missing entirely.
+
+pub struct RunReport {
+    pub label: String,
+    pub t_ratio: f64,
+    pub wall_ms: u128,
+}
+
+impl RunReport {
+    pub fn fingerprint(&self) -> String {
+        format!("{}|{:016x}", self.label, self.t_ratio.to_bits())
+    }
+}

@@ -1,0 +1,17 @@
+//! Registry with declaration-side violations: a duplicate, a missing
+//! doc line, a malformed name — and no README.md to carry the table.
+
+pub const KNOBS: &[Knob] = &[
+    Knob {
+        name: "SOC_DEMO",
+        doc: "a demo knob",
+    },
+    Knob {
+        name: "SOC_DEMO",
+        doc: "",
+    },
+    Knob {
+        name: "soc_lower",
+        doc: "not an upper-snake name",
+    },
+];

@@ -1,0 +1,26 @@
+//! Every violation here carries a justified pragma — the workspace
+//! lints clean with a nonzero suppressed count. Covers both pragma
+//! placements: standalone-above and trailing.
+
+pub fn wall(out: &mut Vec<u128>) {
+    // soc-lint: allow(no-wall-clock) -- diagnostics only; excluded from the fingerprint
+    let t0 = std::time::Instant::now();
+    out.push(t0.elapsed().as_millis());
+}
+
+pub fn order(map: &HashMap<u32, u32>) -> u32 {
+    let mut sum = 0;
+    // soc-lint: allow(no-unordered-iter) -- addition is commutative: order cannot leak
+    for kv in map {
+        sum += *kv.1;
+    }
+    sum
+}
+
+pub fn unstable(xs: &mut Vec<u32>) {
+    xs.sort_unstable(); // soc-lint: allow(no-unstable-sort) -- keys are unique by construction
+}
+
+pub fn seeded(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed) // soc-lint: allow(rng-stream-discipline) -- fixture for the blessed-constructor pattern
+}

@@ -59,8 +59,8 @@ impl CacheBackend {
     /// Read on every cache construction — deliberately uncached so a single
     /// process can A/B both backends (`repro perf`).
     pub fn from_env() -> Self {
-        match std::env::var("SOC_CACHE") {
-            Ok(v) if v.eq_ignore_ascii_case("scan") => CacheBackend::Scan,
+        match soc_types::knobs::raw("SOC_CACHE") {
+            Some(v) if v.eq_ignore_ascii_case("scan") => CacheBackend::Scan,
             _ => CacheBackend::Indexed,
         }
     }
@@ -530,7 +530,7 @@ impl RecordCache {
                     out.push(*r);
                     true
                 });
-                out.sort_unstable_by_key(|r| r.subject);
+                out.sort_unstable_by_key(|r| r.subject); // soc-lint: allow(no-unstable-sort) -- one record per subject in a cache, so keys are unique
             }
         }
     }
@@ -568,7 +568,7 @@ impl RecordCache {
                     out.push(*r);
                     true
                 });
-                out.sort_unstable_by_key(|r| r.subject);
+                out.sort_unstable_by_key(|r| r.subject); // soc-lint: allow(no-unstable-sort) -- one record per subject in a cache, so keys are unique
                 out
             }
         }

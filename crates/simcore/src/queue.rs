@@ -40,8 +40,8 @@ impl QueueBackend {
     /// Read on every call — deliberately uncached so a single process can
     /// construct queues with different backends for A/B timing.
     pub fn from_env() -> Self {
-        match std::env::var("SOC_SIM_QUEUE") {
-            Ok(v) if v.eq_ignore_ascii_case("heap") => QueueBackend::Heap,
+        match soc_types::knobs::raw("SOC_SIM_QUEUE") {
+            Some(v) if v.eq_ignore_ascii_case("heap") => QueueBackend::Heap,
             _ => QueueBackend::Calendar,
         }
     }

@@ -69,6 +69,17 @@ pub struct RunReport {
     pub diag: String,
 }
 
+/// [`RunReport`] fields deliberately left out of [`RunReport::fingerprint`].
+///
+/// Exclusions are declarations, not comments: the `fingerprint-coverage`
+/// lint cross-checks this list against the struct fields and the encoder
+/// body, so adding a field to `RunReport` forces an explicit decision —
+/// encode it or list it here with a reason.
+///
+/// - `wall_ms`: wall-clock runtime, diagnostics only. It varies run to run
+///   by construction and must never affect bitwise-equivalence checks.
+pub const FINGERPRINT_EXCLUDED: &[&str] = &["wall_ms"];
+
 impl RunReport {
     /// One-line human summary.
     pub fn summary(&self) -> String {

@@ -15,7 +15,7 @@ use soc_psm::{NodeExec, PsmConfig, RunningTask};
 use soc_simcore::{stream_rng, EventQueue, RngStreams};
 use soc_types::{NodeId, QueryId, ResVec, SimMillis, TaskId, PERF_DIMS};
 use soc_workload::{cmax, SyntheticSource, WorkloadSource};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
 /// Host-side state visible to protocols.
@@ -102,7 +102,9 @@ struct Sim<'s, P: DiscoveryOverlay> {
     stats: MsgStats,
     tracker: TaskTracker,
     queue: EventQueue<Ev<P::Msg>>,
-    pending: HashMap<QueryId, PendingQuery>,
+    /// BTreeMap (not HashMap): the churn-kill sweep iterates this map, and
+    /// ordered iteration keeps that sweep deterministic by construction.
+    pending: BTreeMap<QueryId, PendingQuery>,
     /// Recycled effect buffers: one `Ctx` is built per delivered event, so
     /// handing the drained Vec back avoids an allocation per event.
     fx_buf: Vec<Effect<P::Msg>>,
@@ -201,7 +203,7 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
             stats: MsgStats::new(max_nodes),
             tracker: TaskTracker::new(),
             queue: EventQueue::with_capacity(1 << 16),
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             fx_buf: Vec::new(),
             fx_next: Vec::new(),
             expected_s: Vec::new(),
@@ -711,6 +713,7 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
     }
 
     fn run(mut self) -> RunReport {
+        // soc-lint: allow(no-wall-clock) -- wall_ms is diagnostic-only and excluded from fingerprint() (see report.rs FINGERPRINT_EXCLUDED)
         let wall_start = std::time::Instant::now();
         // Protocol start-up.
         self.with_proto(|p, ctx| p.on_start(ctx));

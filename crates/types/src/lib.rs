@@ -9,8 +9,13 @@
 //!
 //! Identifier newtypes ([`NodeId`], [`TaskId`], [`QueryId`]) keep the many
 //! integer indexes in the simulator from being mixed up.
+//!
+//! [`knobs`] is the central registry of `SOC_*` environment variables —
+//! the single place such knobs are declared, documented and read
+//! (enforced workspace-wide by `soc-lint`).
 
 pub mod ids;
+pub mod knobs;
 pub mod resvec;
 pub mod units;
 
