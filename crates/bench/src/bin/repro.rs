@@ -27,8 +27,9 @@
 //! figure; smoke preserves the shapes in seconds.
 
 use soc_bench::{
-    diag_lambda05, diag_lambda05_with, fig4, fig5, fig8, fig8_checkpointing, perf, print_diag,
-    print_diag_compare, print_fig8, print_series, print_table3, reports_json, table3, Scale,
+    diag_hostility, diag_lambda05, diag_lambda05_with, fig4, fig5, fig8, fig8_checkpointing, perf,
+    print_diag, print_diag_compare, print_fig8, print_hostility, print_series, print_table3,
+    reports_json, table3, Scale,
 };
 use soc_scenario::{record_run, replay_run, ScenarioSpec, Trace};
 use soc_sim::RunReport;
@@ -263,9 +264,15 @@ fn run_diag(scale: Scale, seed: u64, jitter: f64) -> Sections {
     println!("\n== candidate-set diversification: corner jitter {jitter} ==");
     let jit = diag_lambda05_with(scale, seed, jitter);
     println!("{}", print_diag_compare(&base, &jit, jitter));
+    println!("== hostility A/B: 15% blackhole nodes, defence off vs on ==");
+    let ab = diag_hostility(scale, seed, 0.15);
+    println!("{}", print_hostility(&ab));
     vec![
         ("baseline".to_string(), base),
         (format!("jitter={jitter}"), jit),
+        ("hostility-clean".to_string(), vec![ab.clean]),
+        ("hostility-undefended".to_string(), vec![ab.undefended]),
+        ("hostility-defended".to_string(), vec![ab.defended]),
     ]
 }
 

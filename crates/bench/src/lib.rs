@@ -10,7 +10,7 @@
 pub mod perf;
 pub mod sweep;
 
-use soc_sim::{ProtocolChoice, RunReport, Scenario};
+use soc_sim::{FaultConfig, ProtocolChoice, RunReport, Scenario};
 
 /// Experiment sizing.
 #[derive(Clone, Copy, Debug)]
@@ -212,6 +212,101 @@ pub fn diag_lambda05_with(scale: Scale, seed: u64, jitter: f64) -> Vec<RunReport
             })
             .collect(),
     )
+}
+
+/// One hostility A/B: the same HID-CAN λ=0.5 run on the clean network,
+/// under `blackhole_frac` byzantine nodes with the defence off, and under
+/// the same faults with the blacklist/retry defence on.
+#[derive(Clone, Debug)]
+pub struct HostilityAb {
+    /// Zero-fault baseline (defence knob irrelevant: pinned off).
+    pub clean: RunReport,
+    /// Hostile, `SOC_FAULT_DEFENSE=off` — the undefended damage.
+    pub undefended: RunReport,
+    /// Hostile, `SOC_FAULT_DEFENSE=on` — blacklists + bounded retry.
+    pub defended: RunReport,
+    /// The blackhole fraction both hostile cells ran under.
+    pub blackhole_frac: f64,
+}
+
+impl HostilityAb {
+    /// T-Ratio lost to the faults with no defence (clean − undefended).
+    pub fn degradation(&self) -> f64 {
+        self.clean.t_ratio - self.undefended.t_ratio
+    }
+
+    /// Fraction of the undefended T-Ratio loss the defence wins back:
+    /// `(defended − undefended) / (clean − undefended)`. 0 = useless,
+    /// 1 = full recovery; NaN-safe (0 when there was no degradation).
+    pub fn recovered_fraction(&self) -> f64 {
+        let lost = self.degradation();
+        if lost <= 0.0 {
+            return 0.0;
+        }
+        (self.defended.t_ratio - self.undefended.t_ratio) / lost
+    }
+}
+
+/// Run the hostility A/B at one blackhole fraction. The defence knob is
+/// read once per `Sim` construction, so each env guard brackets a whole
+/// sweep; the clean and undefended cells pin it off explicitly rather
+/// than trusting the ambient environment.
+pub fn diag_hostility(scale: Scale, seed: u64, blackhole_frac: f64) -> HostilityAb {
+    let clean_sc = scale.scenario(ProtocolChoice::Hid).lambda(0.5).seed(seed);
+    let hostile_sc = clean_sc.fault(FaultConfig {
+        blackhole_frac,
+        ..FaultConfig::default()
+    });
+    let (clean, undefended) = {
+        let _g = perf::env_guard("SOC_FAULT_DEFENSE", Some("off".into()));
+        let mut r = run_cells(vec![clean_sc, hostile_sc]);
+        let undefended = r.pop().expect("undefended cell");
+        (r.pop().expect("clean cell"), undefended)
+    };
+    let defended = {
+        let _g = perf::env_guard("SOC_FAULT_DEFENSE", Some("on".into()));
+        run_cells(vec![hostile_sc]).pop().expect("defended cell")
+    };
+    HostilityAb {
+        clean,
+        undefended,
+        defended,
+        blackhole_frac,
+    }
+}
+
+/// Render the hostility A/B: per-cell outcome metrics plus the defence
+/// verdict (T-Ratio degradation and recovered fraction).
+pub fn print_hostility(ab: &HostilityAb) -> String {
+    let mut out = String::from(
+        "config\tt_ratio\tf_ratio\tfinished\tfailed\tdrops\tretries\tblacklisted\tevil/honest\n",
+    );
+    for (label, r) in [
+        ("clean", &ab.clean),
+        ("undefended", &ab.undefended),
+        ("defended", &ab.defended),
+    ] {
+        out.push_str(&format!(
+            "{}\t{:.3}\t{:.3}\t{}\t{}\t{}\t{}\t{}\t{}/{}\n",
+            label,
+            r.t_ratio,
+            r.f_ratio,
+            r.finished,
+            r.failed,
+            r.faults.drops_total(),
+            r.faults.retries,
+            r.faults.blacklisted,
+            r.faults.suspected_evil,
+            r.faults.suspected_honest,
+        ));
+    }
+    out.push_str(&format!(
+        "# {:.0}% blackholes: T-Ratio degradation {:.3}, defence recovers {:.0}% of it\n",
+        ab.blackhole_frac * 100.0,
+        ab.degradation(),
+        ab.recovered_fraction() * 100.0,
+    ));
+    out
 }
 
 /// Render the jitter A/B: how the arrival-time re-check rejection share

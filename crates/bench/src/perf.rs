@@ -54,7 +54,11 @@ pub struct PerfReport {
     pub deterministic: bool,
 }
 
-fn env_guard(key: &'static str, value: Option<String>) -> impl Drop {
+/// Set (or clear) an environment knob for the duration of the returned
+/// guard, restoring the previous value on drop. The knobs are re-read per
+/// sweep / per construction precisely so one process can compare
+/// configurations; callers must not overlap guards for the same key.
+pub(crate) fn env_guard(key: &'static str, value: Option<String>) -> impl Drop {
     struct Restore {
         key: &'static str,
         prev: Option<String>,

@@ -177,6 +177,21 @@ impl PidCan {
         match self.router.next_hop(ctx.can, &self.tables, node, target) {
             None => true,
             Some(next) => {
+                if ctx.host.is_suspect(node, next, ctx.now) {
+                    // Defence layer: the computed next hop is on `node`'s
+                    // blacklist. Detour greedily around every suspect (and
+                    // the dead); an isolated sender consumes the message.
+                    let detour = greedy_next_hop_filtered(ctx.can, node, target, |n| {
+                        ctx.host.is_alive(n) && !ctx.host.is_suspect(node, n, ctx.now)
+                    });
+                    return match detour {
+                        Some(next) => {
+                            ctx.send(node, next, kind, msg);
+                            false
+                        }
+                        None => true,
+                    };
+                }
                 ctx.send(node, next, kind, msg);
                 false
             }
@@ -202,14 +217,15 @@ impl PidCan {
             return true;
         }
         if let Some(next) = self.router.next_hop(ctx.can, &self.tables, node, target) {
-            if next != avoid && ctx.host.is_alive(next) {
+            if next != avoid && ctx.host.is_alive(next) && !ctx.host.is_suspect(node, next, ctx.now)
+            {
                 ctx.send(node, next, kind, msg);
                 return false;
             }
         }
-        // Greedy over live neighbors, excluding the dead hop.
+        // Greedy over live, unsuspected neighbors, excluding the dead hop.
         let next = greedy_next_hop_filtered(ctx.can, node, target, |n| {
-            n != avoid && ctx.host.is_alive(n)
+            n != avoid && ctx.host.is_alive(n) && !ctx.host.is_suspect(node, n, ctx.now)
         });
         match next {
             Some(next) => {
@@ -1071,6 +1087,91 @@ mod tests {
         let (fx, sent) = ctx.finish();
         assert!(fx.is_empty(), "nothing to send: {fx:?}");
         assert!(sent.is_zero());
+    }
+
+    #[test]
+    fn suspected_next_hop_is_detoured_by_its_observer_only() {
+        // Blacklist the sender's natural next hop: `forward_toward` must
+        // detour to the nearest live unsuspected neighbor. The suspicion
+        // is per-observer, so routing *from the suspect itself* (or any
+        // other node) is unaffected.
+        let (mut proto, can, mut host, mut rng) = world(75);
+        let (sender, hop, target) = pick_route(&can);
+        host.suspects.push((sender, hop));
+        let mut ctx = Ctx::new(0, &can, &host, &mut rng);
+        let consumed =
+            proto.forward_toward(&mut ctx, sender, &target, MsgKind::StateUpdate, dummy_msg());
+        assert!(!consumed, "other unsuspected neighbors exist");
+        let (fx, _) = ctx.finish();
+        let expect = manual_greedy(&can, &host, sender, &target, hop).unwrap();
+        match &fx[..] {
+            [Effect::Send { from, to, .. }] => {
+                assert_eq!(*from, sender);
+                assert_ne!(*to, hop, "must not route through the blacklisted hop");
+                assert_eq!(*to, expect, "detour is the greedy choice minus the suspect");
+            }
+            other => panic!("expected exactly one send, got {other:?}"),
+        }
+        // Another observer with an empty blacklist keeps the plain route.
+        host.suspects.clear();
+        let mut ctx = Ctx::new(0, &can, &host, &mut rng);
+        let consumed =
+            proto.forward_toward(&mut ctx, sender, &target, MsgKind::StateUpdate, dummy_msg());
+        assert!(!consumed);
+        let (fx, _) = ctx.finish();
+        match &fx[..] {
+            [Effect::Send { to, .. }] => assert_eq!(*to, hop, "no suspicion, no detour"),
+            other => panic!("expected exactly one send, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fully_suspected_neighborhood_consumes_instead_of_looping() {
+        let (mut proto, can, mut host, mut rng) = world(76);
+        let (sender, _, target) = pick_route(&can);
+        for e in can.neighbors(sender) {
+            host.suspects.push((sender, e.node));
+        }
+        let mut ctx = Ctx::new(0, &can, &host, &mut rng);
+        let consumed =
+            proto.forward_toward(&mut ctx, sender, &target, MsgKind::StateUpdate, dummy_msg());
+        assert!(
+            consumed,
+            "a sender that suspects every neighbor must consume, not loop"
+        );
+        let (fx, _) = ctx.finish();
+        assert!(fx.is_empty());
+    }
+
+    #[test]
+    fn forward_avoiding_also_respects_suspicion() {
+        let (mut proto, can, mut host, mut rng) = world(77);
+        let (sender, hop, target) = pick_route(&can);
+        // `avoid` one node, blacklist the natural fallback: the chosen hop
+        // must dodge both.
+        let fallback = manual_greedy(&can, &host, sender, &target, hop).unwrap();
+        host.suspects.push((sender, fallback));
+        let mut ctx = Ctx::new(0, &can, &host, &mut rng);
+        let consumed = proto.forward_avoiding(
+            &mut ctx,
+            sender,
+            &target,
+            MsgKind::StateUpdate,
+            dummy_msg(),
+            hop,
+        );
+        let (fx, _) = ctx.finish();
+        if consumed {
+            assert!(fx.is_empty());
+        } else {
+            match &fx[..] {
+                [Effect::Send { to, .. }] => {
+                    assert_ne!(*to, hop, "avoided hop chosen");
+                    assert_ne!(*to, fallback, "suspected fallback chosen");
+                }
+                other => panic!("expected exactly one send, got {other:?}"),
+            }
+        }
     }
 
     #[test]

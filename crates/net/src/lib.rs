@@ -11,8 +11,10 @@
 //! duty-query message, index-jump message, index-agent message, etc.)
 //! sent/forwarded per node" (Table III).
 
+pub mod fault;
 pub mod latency;
 pub mod stats;
 
+pub use fault::{FaultConfig, FaultPlan};
 pub use latency::{LanTopology, LatencyConfig};
 pub use stats::{MsgCounts, MsgKind, MsgStats, MSG_KINDS};

@@ -17,6 +17,13 @@ pub trait HostInfo {
     fn cmax(&self) -> &ResVec;
     /// Is the node currently alive (not churned away)?
     fn is_alive(&self, node: NodeId) -> bool;
+    /// Does `by` currently suspect `node` of misbehaviour (blacklisted by
+    /// the fault-defence layer)? Routing avoids suspected next hops.
+    /// Default: nobody suspects anybody — the cooperative baseline.
+    fn is_suspect(&self, by: NodeId, node: NodeId, now: SimMillis) -> bool {
+        let _ = (by, node, now);
+        false
+    }
 }
 
 /// A discovery request handed to the overlay by the scenario runner.

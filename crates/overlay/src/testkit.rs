@@ -22,6 +22,9 @@ pub struct TestHost {
     pub cmax: ResVec,
     /// Aliveness flags (defaults to all alive).
     pub alive: Vec<bool>,
+    /// Blacklist pairs `(by, of)` for exercising suspect-avoiding routing
+    /// (defaults to empty — nobody suspects anybody).
+    pub suspects: Vec<(NodeId, NodeId)>,
 }
 
 impl TestHost {
@@ -31,6 +34,7 @@ impl TestHost {
             avails: vec![avail; n],
             cmax,
             alive: vec![true; n],
+            suspects: Vec::new(),
         }
     }
 }
@@ -44,6 +48,9 @@ impl HostInfo for TestHost {
     }
     fn is_alive(&self, node: NodeId) -> bool {
         self.alive.get(node.idx()).copied().unwrap_or(false)
+    }
+    fn is_suspect(&self, by: NodeId, node: NodeId, _now: SimMillis) -> bool {
+        self.suspects.contains(&(by, node))
     }
 }
 

@@ -23,6 +23,10 @@
 //!
 //! [nodes]
 //! model = classes         # paper|classes
+//!
+//! [fault]
+//! blackhole = 0.15        # fraction of nodes silently dropping messages
+//! loss = 0.02             # iid per-hop drop probability
 //! ```
 //!
 //! Every key except `protocol` is optional: omitted scenario keys take the
@@ -31,7 +35,7 @@
 //! [`ScenarioSpec::render`] emits the canonical fully-explicit form;
 //! `parse ∘ render` is the identity (pinned by the round-trip tests).
 
-use soc_sim::{ProtocolChoice, Scenario};
+use soc_sim::{FaultConfig, ProtocolChoice, Scenario};
 use soc_workload::{ArrivalModel, DemandModel, DurationModel, NodeModel, WorkloadSpec};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -193,7 +197,7 @@ impl ScenarioSpec {
                 let name = name.trim().to_ascii_lowercase();
                 if !matches!(
                     name.as_str(),
-                    "scenario" | "arrival" | "duration" | "demand" | "nodes"
+                    "scenario" | "arrival" | "duration" | "demand" | "nodes" | "fault"
                 ) {
                     return err(line_no, format!("unknown section [{name}]"));
                 }
@@ -343,6 +347,21 @@ impl ScenarioSpec {
         }
         sc.workload = workload;
 
+        if let Some(mut s) = sections.remove("fault") {
+            let d = FaultConfig::default();
+            sc.fault = FaultConfig {
+                blackhole_frac: s.take_f64("blackhole", d.blackhole_frac)?,
+                liar_frac: s.take_f64("liar", d.liar_frac)?,
+                loss: s.take_f64("loss", d.loss)?,
+                burst_loss: s.take_f64("burst_loss", d.burst_loss)?,
+                burst_len: s.take_u64("burst_len", d.burst_len)?,
+                burst_gap: s.take_u64("burst_gap", d.burst_gap)?,
+                partition_period_ms: s.take_u64("partition_period_ms", d.partition_period_ms)?,
+                partition_ms: s.take_u64("partition_ms", d.partition_ms)?,
+            };
+            s.finish("fault")?;
+        }
+
         let spec = ScenarioSpec { name, scenario: sc };
         spec.validate().map_err(|msg| ParseError { line: 0, msg })?;
         Ok(spec)
@@ -394,6 +413,22 @@ impl ScenarioSpec {
         }
         if !(0.0..=1.0).contains(&sc.corner_jitter) {
             return Err("corner_jitter: must be in [0, 1]".into());
+        }
+        let f = &sc.fault;
+        if !(0.0..=1.0).contains(&f.blackhole_frac) || !(0.0..=1.0).contains(&f.liar_frac) {
+            return Err("fault blackhole / liar: must be in [0, 1]".into());
+        }
+        if !(0.0..=1.0).contains(&f.loss) || !(0.0..=1.0).contains(&f.burst_loss) {
+            return Err("fault loss / burst_loss: must be in [0, 1]".into());
+        }
+        if f.burst_len == 0 || f.burst_gap == 0 {
+            return Err("fault burst_len / burst_gap: must be ≥ 1".into());
+        }
+        if (f.partition_period_ms == 0) != (f.partition_ms == 0) {
+            return Err("fault partition_period_ms / partition_ms: set both or neither".into());
+        }
+        if f.partition_ms > f.partition_period_ms {
+            return Err("fault partition_ms: must be ≤ partition_period_ms".into());
         }
         sc.workload.validate()
     }
@@ -500,6 +535,17 @@ impl ScenarioSpec {
                 let _ = writeln!(out, "big_frac = {big_frac}");
             }
         }
+        out.push('\n');
+        let f = &sc.fault;
+        let _ = writeln!(out, "[fault]");
+        let _ = writeln!(out, "blackhole = {}", f.blackhole_frac);
+        let _ = writeln!(out, "liar = {}", f.liar_frac);
+        let _ = writeln!(out, "loss = {}", f.loss);
+        let _ = writeln!(out, "burst_loss = {}", f.burst_loss);
+        let _ = writeln!(out, "burst_len = {}", f.burst_len);
+        let _ = writeln!(out, "burst_gap = {}", f.burst_gap);
+        let _ = writeln!(out, "partition_period_ms = {}", f.partition_period_ms);
+        let _ = writeln!(out, "partition_ms = {}", f.partition_ms);
         out
     }
 
@@ -600,6 +646,66 @@ on_factor = 0.2
         assert_eq!(reparsed.scenario.seed, spec.scenario.seed);
         // Sanitized specs round-trip exactly.
         assert_eq!(reparsed, ScenarioSpec::parse(&reparsed.render()).unwrap());
+    }
+
+    #[test]
+    fn fault_section_parses_with_model_defaults() {
+        let spec = ScenarioSpec::parse(
+            "[scenario]\nprotocol = hid\n\n[fault]\nblackhole = 0.15\nloss = 0.02\n",
+        )
+        .unwrap();
+        let f = spec.scenario.fault;
+        assert_eq!(f.blackhole_frac, 0.15);
+        assert_eq!(f.loss, 0.02);
+        assert_eq!(f.liar_frac, 0.0);
+        assert_eq!(f.burst_len, 8); // model default
+        assert!(f.enabled());
+        // Omitting the section entirely leaves the all-zero default.
+        let clean = ScenarioSpec::parse("[scenario]\nprotocol = hid\n").unwrap();
+        assert_eq!(clean.scenario.fault, FaultConfig::default());
+        assert!(!clean.scenario.fault.enabled());
+    }
+
+    #[test]
+    fn fault_section_round_trips() {
+        let spec = ScenarioSpec::parse(
+            "[scenario]\nprotocol = sid\n\n[fault]\nliar = 0.1\nburst_loss = 0.8\n\
+             burst_len = 12\nburst_gap = 300\npartition_period_ms = 600000\n\
+             partition_ms = 120000\n",
+        )
+        .unwrap();
+        let again = ScenarioSpec::parse(&spec.render()).unwrap();
+        assert_eq!(spec, again);
+        assert_eq!(spec.render(), again.render());
+    }
+
+    #[test]
+    fn fault_section_rejects_bad_values_with_line_numbers() {
+        let e = ScenarioSpec::parse("[scenario]\nprotocol = hid\n\n[fault]\nblackhole = lots\n")
+            .unwrap_err();
+        assert!(e.msg.contains("expected a number"), "{e}");
+        assert_eq!(e.line, 5);
+        let e = ScenarioSpec::parse("[scenario]\nprotocol = hid\n\n[fault]\nblackhol = 0.1\n")
+            .unwrap_err();
+        assert!(e.msg.contains("unknown key"), "{e}");
+        assert_eq!(e.line, 5);
+        let e = ScenarioSpec::parse("[scenario]\nprotocol = hid\n\n[fault]\nblackhole = 1.5\n")
+            .unwrap_err();
+        assert!(e.msg.contains("blackhole"), "{e}");
+        let e = ScenarioSpec::parse("[scenario]\nprotocol = hid\n\n[fault]\nburst_len = 0\n")
+            .unwrap_err();
+        assert!(e.msg.contains("burst_len"), "{e}");
+        let e = ScenarioSpec::parse(
+            "[scenario]\nprotocol = hid\n\n[fault]\npartition_period_ms = 1000\n",
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("set both or neither"), "{e}");
+        let e = ScenarioSpec::parse(
+            "[scenario]\nprotocol = hid\n\n[fault]\npartition_period_ms = 1000\n\
+             partition_ms = 2000\n",
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("≤ partition_period_ms"), "{e}");
     }
 
     #[test]

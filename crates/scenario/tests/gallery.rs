@@ -69,3 +69,26 @@ fn gallery_covers_every_generator_axis() {
         .iter()
         .any(|s| s.scenario.churn_degree > 0.0 && s.scenario.checkpointing));
 }
+
+#[test]
+fn hostile_sub_gallery_covers_every_fault_kind() {
+    let specs: Vec<ScenarioSpec> = gallery_files()
+        .iter()
+        .map(|p| ScenarioSpec::load(p).unwrap())
+        .collect();
+    let faults: Vec<_> = specs.iter().map(|s| s.scenario.fault).collect();
+    // A blackhole ladder that reaches the reference 15% point and beyond.
+    assert!(faults.iter().any(|f| f.blackhole_frac == 0.15));
+    assert!(faults.iter().any(|f| f.blackhole_frac >= 0.3));
+    assert!(faults.iter().any(|f| f.liar_frac > 0.0));
+    assert!(faults.iter().any(|f| f.burst_loss > 0.0 && f.loss > 0.0));
+    assert!(faults
+        .iter()
+        .any(|f| f.partition_period_ms > 0 && f.partition_ms > 0));
+    // The clean gallery must stay clean: the workload-only entries carry
+    // no fault model at all.
+    assert!(specs
+        .iter()
+        .filter(|s| !s.name.starts_with("hostile-"))
+        .all(|s| !s.scenario.fault.enabled()));
+}

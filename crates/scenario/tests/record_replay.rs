@@ -87,12 +87,58 @@ fn replay_rejects_a_tampered_trace() {
     );
 }
 
+#[test]
+fn enabling_faults_does_not_perturb_workload_draws() {
+    // The stream-isolation invariant behind `RngStreams::Fault`: switching
+    // the fault model on must leave every draw crossing the
+    // WorkloadSource boundary untouched, so a trace recorded on the clean
+    // network stays valid for hostile replays. Churn is on (joins draw
+    // capacities mid-run) but checkpointing is off — resubmission draws
+    // depend on dispatch outcomes, which faults legitimately change.
+    let base = "[scenario]\nname = rr-isolation\nprotocol = hid\nnodes = 100\nhours = 2\n\
+         mean_arrival_s = 600\nmean_duration_s = 600\nseed = 6\nchurn = 0.5\n";
+    let hostile =
+        format!("{base}\n[fault]\nblackhole = 0.2\nliar = 0.1\nloss = 0.05\nburst_loss = 0.5\n");
+    let (clean_report, clean_trace) = record_run(&spec(base));
+    let (hostile_report, hostile_trace) = record_run(&spec(&hostile));
+    // Same workload events, draw for draw — only the embedded spec differs.
+    assert_eq!(clean_trace.events, hostile_trace.events);
+    // And the runs themselves genuinely diverged: faults were active.
+    assert_ne!(clean_report.fingerprint(), hostile_report.fingerprint());
+    assert!(clean_report.faults.drops_total() == 0);
+    assert!(hostile_report.faults.drops_total() > 0);
+}
+
+#[test]
+fn hostile_runs_replay_bit_exactly() {
+    // Fault injection is part of the determinism contract, not an
+    // exception to it: record → save → load → replay under blackholes,
+    // liars, lossy links and partitions reproduces the fingerprint.
+    assert_record_replay_bitexact(&spec(
+        "[scenario]\nname = rr-hostile\nprotocol = hid\nnodes = 100\nhours = 2\n\
+         mean_arrival_s = 600\nmean_duration_s = 600\nseed = 7\nchurn = 0.4\n\
+         [fault]\nblackhole = 0.15\nliar = 0.1\nloss = 0.02\nburst_loss = 0.5\n\
+         partition_period_ms = 1800000\npartition_ms = 300000\n",
+    ));
+}
+
 /// Smoke-scale pin of the acceptance criterion (CI cron; ~paper shapes).
 #[test]
 #[ignore = "smoke scale; run in CI cron via -- --ignored"]
 fn smoke_scale_gallery_storm_replays_bit_exactly() {
     let path =
         std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios/storm.scn");
+    let spec = ScenarioSpec::load(path).unwrap();
+    assert_record_replay_bitexact(&spec);
+}
+
+/// Smoke-scale hostile pin (CI cron): the reference 15% blackhole gallery
+/// entry records and replays bit-exactly at its committed scale.
+#[test]
+#[ignore = "smoke scale; run in CI cron via -- --ignored"]
+fn smoke_scale_hostile_blackhole_replays_bit_exactly() {
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../scenarios/hostile-blackhole-15.scn");
     let spec = ScenarioSpec::load(path).unwrap();
     assert_record_replay_bitexact(&spec);
 }

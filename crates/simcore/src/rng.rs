@@ -30,6 +30,11 @@ pub enum RngStreams {
     Topology,
     /// Dispatch-time candidate shuffling (best-fit contention control).
     Dispatch,
+    /// Fault-injection decisions: blackhole/liar selection, per-hop message
+    /// loss, the Gilbert–Elliott burst chain. A dedicated stream so that
+    /// enabling faults never perturbs the workload/network draws — the
+    /// trace-replay invariant from the record/replay subsystem depends on it.
+    Fault,
     /// Anything test-local.
     Test(u16),
 }
@@ -45,6 +50,7 @@ impl RngStreams {
             RngStreams::Churn => 6,
             RngStreams::Topology => 7,
             RngStreams::Dispatch => 8,
+            RngStreams::Fault => 9,
             RngStreams::Test(k) => 1000 + k as u64,
         }
     }

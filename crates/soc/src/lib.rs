@@ -18,11 +18,14 @@
 //! println!("{}", report.summary());
 //! ```
 
+pub mod defense;
 pub mod json;
 pub mod report;
 pub mod runner;
 pub mod scenario;
 
-pub use report::RunReport;
+pub use defense::{Blacklist, DefenseParams};
+pub use report::{FaultSummary, RunReport};
 pub use runner::{build_source, run_scenario, run_scenario_with};
 pub use scenario::{ProtocolChoice, Scenario};
+pub use soc_net::FaultConfig;

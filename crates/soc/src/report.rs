@@ -3,6 +3,52 @@
 use soc_metrics::MetricPoint;
 use soc_net::MsgKind;
 
+/// Fault-injection and defence counters for one run. All-zero (the
+/// default) on every clean run; the fingerprint encodes this block only
+/// when some counter moved, so zero-fault runs stay byte-identical to
+/// reports produced before the fault subsystem existed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FaultSummary {
+    /// Blackhole nodes at end of run (churn re-rolls membership).
+    pub blackhole_nodes: u64,
+    /// Liar (corrupt-advert) nodes at end of run.
+    pub liar_nodes: u64,
+    /// Messages suppressed by blackhole receivers.
+    pub drops_blackhole: u64,
+    /// Messages lost to the iid per-hop channel.
+    pub drops_loss: u64,
+    /// Messages lost to the bursty Gilbert–Elliott channel.
+    pub drops_burst: u64,
+    /// Messages cut by partition windows.
+    pub drops_partition: u64,
+    /// Duty queries re-issued by the defence layer after a timeout.
+    pub retries: u64,
+    /// Suspicion strikes registered (defence on only).
+    pub suspicions: u64,
+    /// Blacklisting events over the run.
+    pub blacklisted: u64,
+    /// Peak simultaneously-active blacklist entries.
+    pub blacklist_peak: u64,
+    /// Blacklisting events whose target really was a blackhole/liar.
+    pub suspected_evil: u64,
+    /// Blacklisting events that hit an honest node (collateral of lossy
+    /// links — the defence's false-positive cost, measured).
+    pub suspected_honest: u64,
+}
+
+impl FaultSummary {
+    /// Did any fault or defence counter move this run?
+    pub fn any(&self) -> bool {
+        *self != FaultSummary::default()
+    }
+
+    /// Total messages dropped by injected faults.
+    pub fn drops_total(&self) -> u64 {
+        self.drops_blackhole + self.drops_loss + self.drops_burst + self.drops_partition
+    }
+}
+
 /// Aggregated outcome of one scenario run.
 #[derive(Clone, Debug)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -63,6 +109,8 @@ pub struct RunReport {
     pub msg_per_node: f64,
     /// Per-kind message breakdown `(label, count)`, descending.
     pub msg_breakdown: Vec<(String, u64)>,
+    /// Fault-injection and defence counters (all zero on clean runs).
+    pub faults: FaultSummary,
     /// Wall-clock runtime of the simulation (diagnostics only).
     pub wall_ms: u128,
     /// Protocol-internal diagnostic counters (free-form).
@@ -172,6 +220,28 @@ impl RunReport {
             let _ = write!(out, "{label}={count};");
         }
         let _ = write!(out, "|{}", self.diag);
+        // Fault counters are encoded only when some counter moved: clean
+        // runs keep the exact pre-fault-subsystem encoding, so historical
+        // fingerprints (and the zero-fault identity pins) stay valid.
+        if self.faults.any() {
+            let fs = &self.faults;
+            let _ = write!(
+                out,
+                "|flt:bn{};ln{};db{};dl{};du{};dp{};rt{};su{};bl{};bp{};se{};sh{};",
+                fs.blackhole_nodes,
+                fs.liar_nodes,
+                fs.drops_blackhole,
+                fs.drops_loss,
+                fs.drops_burst,
+                fs.drops_partition,
+                fs.retries,
+                fs.suspicions,
+                fs.blacklisted,
+                fs.blacklist_peak,
+                fs.suspected_evil,
+                fs.suspected_honest,
+            );
+        }
         out
     }
 
@@ -222,6 +292,23 @@ impl RunReport {
             .u64("msg_total", self.msg_total)
             .f64("msg_per_node", self.msg_per_node)
             .raw("msg_breakdown", &breakdown)
+            .raw(
+                "faults",
+                &Obj::new()
+                    .u64("blackhole_nodes", self.faults.blackhole_nodes)
+                    .u64("liar_nodes", self.faults.liar_nodes)
+                    .u64("drops_blackhole", self.faults.drops_blackhole)
+                    .u64("drops_loss", self.faults.drops_loss)
+                    .u64("drops_burst", self.faults.drops_burst)
+                    .u64("drops_partition", self.faults.drops_partition)
+                    .u64("retries", self.faults.retries)
+                    .u64("suspicions", self.faults.suspicions)
+                    .u64("blacklisted", self.faults.blacklisted)
+                    .u64("blacklist_peak", self.faults.blacklist_peak)
+                    .u64("suspected_evil", self.faults.suspected_evil)
+                    .u64("suspected_honest", self.faults.suspected_honest)
+                    .finish(),
+            )
             .u64("wall_ms", self.wall_ms as u64)
             .str("diag", &self.diag)
             .raw("series", &series)
@@ -268,6 +355,7 @@ mod tests {
             msg_total: 5000,
             msg_per_node: 50.0,
             msg_breakdown: vec![("state-update".into(), 3000), ("duty-query".into(), 2000)],
+            faults: FaultSummary::default(),
             wall_ms: 12,
             diag: String::new(),
         }
@@ -312,6 +400,31 @@ mod tests {
             _ => d,
         });
         assert_eq!(depth, 0);
+    }
+
+    #[test]
+    fn zero_fault_fingerprint_has_no_fault_block() {
+        // The conditional encoding is the zero-fault identity mechanism:
+        // a default FaultSummary must leave the encoding byte-identical to
+        // the pre-fault format (no `flt:` segment at all).
+        let r = fake();
+        assert!(!r.fingerprint().contains("flt:"));
+        let mut hostile = fake();
+        hostile.faults.drops_blackhole = 3;
+        let fp = hostile.fingerprint();
+        assert!(fp.contains("flt:"), "fault counters must be fingerprinted");
+        assert_ne!(r.fingerprint(), fp);
+    }
+
+    #[test]
+    fn json_nests_fault_counters() {
+        let mut r = fake();
+        r.faults.retries = 4;
+        r.faults.suspected_honest = 1;
+        let j = r.to_json();
+        assert!(j.contains("\"faults\":{"));
+        assert!(j.contains("\"retries\":4"));
+        assert!(j.contains("\"suspected_honest\":1"));
     }
 
     #[test]

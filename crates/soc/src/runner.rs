@@ -1,6 +1,7 @@
 //! The event loop: tasks, queries, dispatch, execution, churn, metrics.
 
-use crate::report::RunReport;
+use crate::defense::{Blacklist, DefenseParams};
+use crate::report::{FaultSummary, RunReport};
 use crate::scenario::{ProtocolChoice, Scenario};
 use pidcan::{PidCan, PidCanConfig};
 use rand::rngs::SmallRng;
@@ -9,7 +10,7 @@ use soc_can::CanOverlay;
 use soc_gossip::{GossipConfig, Newscast};
 use soc_khdn::{KhdnCan, KhdnConfig};
 use soc_metrics::TaskTracker;
-use soc_net::{LanTopology, LatencyConfig, MsgKind, MsgStats};
+use soc_net::{FaultPlan, LanTopology, LatencyConfig, MsgKind, MsgStats};
 use soc_overlay::{Candidate, Ctx, DiscoveryOverlay, Effect, HostInfo, QueryRequest, QueryVerdict};
 use soc_psm::{NodeExec, PsmConfig, RunningTask};
 use soc_simcore::{stream_rng, EventQueue, RngStreams};
@@ -23,10 +24,25 @@ struct Hosts {
     execs: Vec<NodeExec>,
     alive: Vec<bool>,
     cmax: ResVec,
+    /// Injected-fault state: which nodes are blackholes/liars, loss
+    /// channels, drop counters. All-zero config = cooperative network.
+    fault: FaultPlan,
+    /// Per-node suspicion blacklists (defence layer; empty when off).
+    blacklist: Blacklist,
+    /// `SOC_FAULT_DEFENSE=on` — read once at construction.
+    defense_on: bool,
 }
 
 impl HostInfo for Hosts {
     fn availability(&self, node: NodeId) -> ResVec {
+        if self.fault.is_liar(node) {
+            // Corrupt index advert: the liar claims the global capacity
+            // ceiling, attracting dispatches that then fail the real
+            // qualification re-check on arrival. Ground-truth paths (the
+            // oracle, local exec, arrival re-checks) read `execs` directly
+            // and see the real availability.
+            return self.cmax;
+        }
         self.execs[node.idx()].availability()
     }
     fn cmax(&self) -> &ResVec {
@@ -34,6 +50,9 @@ impl HostInfo for Hosts {
     }
     fn is_alive(&self, node: NodeId) -> bool {
         self.alive[node.idx()]
+    }
+    fn is_suspect(&self, by: NodeId, node: NodeId, now: SimMillis) -> bool {
+        self.defense_on && self.blacklist.is_blacklisted(by, node, now)
     }
 }
 
@@ -58,14 +77,19 @@ struct PendingQuery {
     wanted: usize,
     submitted_at: SimMillis,
     candidates: Vec<Candidate>,
+    /// Defence-layer re-issues so far (bounded by `DefenseParams::max_retries`).
+    attempts: u32,
 }
 
 enum Ev<M> {
     Deliver {
-        /// Sender (kept for tracing parity with the wire format).
-        #[allow(dead_code)]
+        /// Sender — the suspicion source when the delivery is suppressed
+        /// by a blackhole receiver.
         from: NodeId,
         to: NodeId,
+        /// Accounting class (blackholes spare `FoundNotify`: an evil
+        /// requester still collects its own results).
+        kind: MsgKind,
         msg: M,
     },
     ProtoTimer {
@@ -85,6 +109,12 @@ enum Ev<M> {
     Completion {
         node: NodeId,
         epoch: u64,
+    },
+    /// Forward-timeout suspicion: `by` sent a message to `of` that a fault
+    /// swallowed; after the suspicion delay, `by` registers a strike.
+    Suspect {
+        by: NodeId,
+        of: NodeId,
     },
     ChurnSwap,
     Sample,
@@ -122,6 +152,12 @@ struct Sim<'s, P: DiscoveryOverlay> {
     comp_dedup_skips: u64,
     comp_dead_pops: u64,
     checkpoint_resubmits: u64,
+    /// Defence tunables (fixed; the knob only switches the layer on/off).
+    defense: DefenseParams,
+    retries: u64,
+    suspicions: u64,
+    suspected_evil: u64,
+    suspected_honest: u64,
     oracle_matchable: u64,
     oracle_match_sum: u64,
     oracle_record_matchable: u64,
@@ -140,6 +176,9 @@ struct Sim<'s, P: DiscoveryOverlay> {
     rng_churn: SmallRng,
     rng_dispatch: SmallRng,
     rng_overlay: SmallRng,
+    /// Fault-injection stream: consumed only when the fault model is
+    /// enabled, so clean runs never touch it.
+    rng_fault: SmallRng,
 }
 
 /// Extra node-id headroom so churn joins get fresh ids before old ones are
@@ -155,6 +194,12 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
         let mut rng_topo = stream_rng(sc.seed, RngStreams::Topology);
         let mut rng_overlay = stream_rng(sc.seed, RngStreams::Overlay);
         let rng_net = stream_rng(sc.seed, RngStreams::Network);
+        let mut rng_fault = stream_rng(sc.seed, RngStreams::Fault);
+        let fault = FaultPlan::new(sc.fault, max_nodes, &mut rng_fault);
+        let defense_on = matches!(
+            soc_types::knobs::raw("SOC_FAULT_DEFENSE").as_deref(),
+            Some("on")
+        );
 
         let caps: Vec<ResVec> = (0..max_nodes)
             .map(|_| source.node_capacity(&mut rng_caps))
@@ -198,6 +243,9 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
                 execs,
                 alive,
                 cmax: cmax(),
+                fault,
+                blacklist: Blacklist::new(max_nodes),
+                defense_on,
             },
             topo,
             stats: MsgStats::new(max_nodes),
@@ -213,6 +261,11 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
             comp_dedup_skips: 0,
             comp_dead_pops: 0,
             checkpoint_resubmits: 0,
+            defense: DefenseParams::default(),
+            retries: 0,
+            suspicions: 0,
+            suspected_evil: 0,
+            suspected_honest: 0,
             oracle_matchable: 0,
             oracle_match_sum: 0,
             oracle_record_matchable: 0,
@@ -229,6 +282,7 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
             rng_churn: stream_rng(sc.seed, RngStreams::Churn),
             rng_dispatch: stream_rng(sc.seed, RngStreams::Dispatch),
             rng_overlay,
+            rng_fault,
         }
     }
 
@@ -250,6 +304,90 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
 
     fn random_live(&mut self) -> NodeId {
         self.live[self.rng_churn.random_range(0..self.live.len())]
+    }
+
+    /// Fault verdict for one in-flight control message. Returns true when
+    /// a partition window or a loss channel swallows it. Draws from
+    /// `rng_fault` only when the fault model is enabled — clean runs take
+    /// the constant-false branch and consume no randomness.
+    fn fault_drops_send(&mut self, from: NodeId, to: NodeId) -> bool {
+        if !self.hosts.fault.config().enabled() {
+            return false;
+        }
+        let now = self.queue.now();
+        let (la, lb) = (self.topo.lan_of(from), self.topo.lan_of(to));
+        if self
+            .hosts
+            .fault
+            .partitioned(now, la, lb, self.topo.n_lans())
+        {
+            self.hosts.fault.count_partition_drop();
+            return true;
+        }
+        self.hosts.fault.channel_drop(&mut self.rng_fault)
+    }
+
+    /// A message from `by` to `of` was swallowed by a fault: when the
+    /// defence is on, `by` notices the missing forward/ack after the
+    /// suspicion delay and registers a strike.
+    fn suspect_later(&mut self, by: NodeId, of: NodeId) {
+        if self.hosts.defense_on {
+            self.queue
+                .schedule_in(self.defense.suspect_after_ms, Ev::Suspect { by, of });
+        }
+    }
+
+    fn on_suspect(&mut self, by: NodeId, of: NodeId) {
+        if !self.hosts.defense_on || !self.hosts.alive[by.idx()] {
+            return;
+        }
+        self.suspicions += 1;
+        let now = self.queue.now();
+        if self.hosts.blacklist.strike(by, of, now, &self.defense) {
+            // Confusion accounting: did suspicion land on a real offender?
+            if self.hosts.fault.is_blackhole(of) || self.hosts.fault.is_liar(of) {
+                self.suspected_evil += 1;
+            } else {
+                self.suspected_honest += 1;
+            }
+        }
+    }
+
+    /// Query deadline fired. With the defence on, a query that heard
+    /// nothing at all gets bounded re-issues with exponential backoff
+    /// (fresh random search walks take different paths around the
+    /// blackholes); otherwise — and on exhausted retries — it settles with
+    /// whatever it has.
+    fn on_query_timeout(&mut self, qid: QueryId) {
+        if self.hosts.defense_on {
+            let retry = match self.pending.get_mut(&qid) {
+                Some(p)
+                    if p.candidates.is_empty()
+                        && p.attempts < self.defense.max_retries
+                        && self.hosts.alive[p.requester.idx()] =>
+                {
+                    p.attempts += 1;
+                    Some((
+                        p.attempts,
+                        QueryRequest {
+                            qid,
+                            requester: p.requester,
+                            demand: p.demand,
+                            wanted: p.wanted,
+                        },
+                    ))
+                }
+                _ => None,
+            };
+            if let Some((attempts, req)) = retry {
+                self.retries += 1;
+                let backoff = self.sc.query_timeout_ms << attempts.min(8);
+                self.queue.schedule_in(backoff, Ev::QueryTimeout { qid });
+                self.with_proto(|p, ctx| p.start_query(ctx, req));
+                return;
+            }
+        }
+        self.settle_query(qid);
     }
 
     /// Run one protocol callback and apply its effects. The callback's
@@ -288,13 +426,27 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
                     Effect::Send {
                         from,
                         to,
-                        kind: _,
+                        kind,
                         msg,
                     } => {
                         if self.hosts.alive[to.idx()] {
+                            // Latency is sampled before the fault verdict so
+                            // the per-send `rng_net` draw sequence is exactly
+                            // the clean run's — the stream-isolation invariant.
                             let lat = self.topo.latency(from, to, &mut self.rng_net);
-                            self.queue
-                                .schedule_in(lat.max(1), Ev::Deliver { from, to, msg });
+                            if self.fault_drops_send(from, to) {
+                                self.suspect_later(from, to);
+                            } else {
+                                self.queue.schedule_in(
+                                    lat.max(1),
+                                    Ev::Deliver {
+                                        from,
+                                        to,
+                                        kind,
+                                        msg,
+                                    },
+                                );
+                            }
                         } else {
                             let mut ctx = Ctx::new(
                                 self.queue.now(),
@@ -394,6 +546,11 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
     }
 
     /// Ship a task to `target`, charging the dispatch transfer.
+    ///
+    /// Dispatch payloads ride a reliable bulk-transfer path on purpose:
+    /// the fault model targets the control plane (forwarded queries,
+    /// adverts, notifications), where the paper's protocols live. A
+    /// payload-level fault story would need its own retransmit model.
     fn dispatch_to(&mut self, target: NodeId, spec: DispatchSpec) {
         self.stats.record(MsgKind::Dispatch);
         let delay = if target == spec.requester {
@@ -582,6 +739,7 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
                 wanted: self.sc.delta,
                 submitted_at: now,
                 candidates: Vec::new(),
+                attempts: 0,
             },
         );
         self.queue
@@ -649,6 +807,7 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
                     wanted: self.sc.delta,
                     submitted_at: t.submitted_at,
                     candidates: Vec::new(),
+                    attempts: 0,
                 },
             );
             self.queue
@@ -679,6 +838,9 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
         let affected: Vec<NodeId> = reass.iter().map(|&(n, _)| n).collect();
         self.with_proto(|p, ctx| p.on_node_left(ctx, victim));
         self.with_proto(|p, ctx| p.on_zones_reassigned(ctx, &affected));
+        // The machine behind this id is gone: its suspicions and everyone's
+        // suspicions about it must not leak onto the slot's next occupant.
+        self.hosts.blacklist.clear_node(victim);
         self.free_ids.push_back(victim);
     }
 
@@ -689,6 +851,9 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
         // Fresh machine: new capacity, idle scheduler.
         let cap = self.source.node_capacity(&mut self.rng_caps);
         self.hosts.execs[newcomer.idx()] = NodeExec::new(cap, PsmConfig::default());
+        // Churn replacements are as likely to be hostile as the original
+        // population (internally gated per fraction — no draw when clean).
+        self.hosts.fault.on_join(newcomer, &mut self.rng_fault);
         self.comp_sched[newcomer.idx()] = None;
         self.live_add(newcomer);
         self.with_proto(|p, ctx| p.on_node_joined(ctx, newcomer));
@@ -730,9 +895,26 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
         let deadline = self.sc.duration_ms;
         while let Some((_, ev)) = self.queue.pop_until(deadline) {
             match ev {
-                Ev::Deliver { to, msg, .. } => {
+                Ev::Deliver {
+                    from,
+                    to,
+                    kind,
+                    msg,
+                } => {
                     if self.hosts.alive[to.idx()] {
-                        self.with_proto(|p, ctx| p.on_message(ctx, to, msg));
+                        if self.hosts.fault.config().enabled()
+                            && self.hosts.fault.is_blackhole(to)
+                            && kind != MsgKind::FoundNotify
+                        {
+                            // Byzantine receiver: the message vanishes
+                            // unprocessed. FoundNotify is spared so an evil
+                            // requester still collects its own results (the
+                            // selfish-freeloader model, not a self-DoS).
+                            self.hosts.fault.count_blackhole_drop();
+                            self.suspect_later(from, to);
+                        } else {
+                            self.with_proto(|p, ctx| p.on_message(ctx, to, msg));
+                        }
                     }
                     // Deliveries to nodes that died in-flight vanish; the
                     // sender already paid for the message.
@@ -743,9 +925,10 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
                     }
                 }
                 Ev::Arrival { node } => self.on_arrival(node),
-                Ev::QueryTimeout { qid } => self.settle_query(qid),
+                Ev::QueryTimeout { qid } => self.on_query_timeout(qid),
                 Ev::TaskArrive { to, spec } => self.on_task_arrive(to, spec),
                 Ev::Completion { node, epoch } => self.on_completion(node, epoch),
+                Ev::Suspect { by, of } => self.on_suspect(by, of),
                 Ev::ChurnSwap => self.churn_swap(),
                 Ev::Sample => {
                     let now = self.queue.now();
@@ -810,6 +993,20 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
             msg_total: self.stats.total(),
             msg_per_node: self.stats.total() as f64 / self.sc.n_nodes as f64,
             msg_breakdown: breakdown,
+            faults: FaultSummary {
+                blackhole_nodes: self.hosts.fault.blackhole_count(),
+                liar_nodes: self.hosts.fault.liar_count(),
+                drops_blackhole: self.hosts.fault.drops_blackhole,
+                drops_loss: self.hosts.fault.drops_loss,
+                drops_burst: self.hosts.fault.drops_burst,
+                drops_partition: self.hosts.fault.drops_partition,
+                retries: self.retries,
+                suspicions: self.suspicions,
+                blacklisted: self.hosts.blacklist.blacklisted_total,
+                blacklist_peak: self.hosts.blacklist.peak,
+                suspected_evil: self.suspected_evil,
+                suspected_honest: self.suspected_honest,
+            },
             wall_ms: wall_start.elapsed().as_millis(),
             diag: self.proto.diag_string(),
         }
@@ -994,6 +1191,142 @@ mod tests {
             "λ=1 ({}) should fail at least as often as λ=0.25 ({})",
             hard.f_ratio,
             easy.f_ratio
+        );
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use soc_net::FaultConfig;
+
+    // These tests run with the defence OFF (the default; no env flips —
+    // env-flipping defence tests live in the serialized bench suite).
+
+    fn hostile(seed: u64, f: FaultConfig) -> RunReport {
+        Scenario::quick(ProtocolChoice::Hid)
+            .nodes(120)
+            .seed(seed)
+            .fault(f)
+            .run()
+    }
+
+    #[test]
+    fn clean_run_reports_no_fault_activity() {
+        let r = Scenario::quick(ProtocolChoice::Hid)
+            .nodes(120)
+            .seed(31)
+            .run();
+        assert!(
+            !r.faults.any(),
+            "clean run moved fault counters: {:?}",
+            r.faults
+        );
+    }
+
+    #[test]
+    fn explicit_zero_fault_config_is_bitwise_clean() {
+        // `[fault]` with all-zero fractions must equal no fault model at
+        // all — the zero-fault identity, in-crate.
+        let clean = Scenario::quick(ProtocolChoice::Hid)
+            .nodes(120)
+            .seed(32)
+            .run();
+        let zeroed = hostile(32, FaultConfig::default());
+        assert_eq!(clean.fingerprint(), zeroed.fingerprint());
+    }
+
+    #[test]
+    fn blackholes_swallow_messages_and_hurt_discovery() {
+        let clean = Scenario::quick(ProtocolChoice::Hid)
+            .nodes(120)
+            .seed(33)
+            .run();
+        let r = hostile(
+            33,
+            FaultConfig {
+                blackhole_frac: 0.3,
+                ..FaultConfig::default()
+            },
+        );
+        assert!(r.faults.blackhole_nodes > 0, "no blackholes sampled");
+        assert!(r.faults.drops_blackhole > 0, "blackholes dropped nothing");
+        assert_eq!(r.faults.retries, 0, "defence off must never retry");
+        assert!(
+            r.t_ratio < clean.t_ratio,
+            "30% blackholes should depress T-Ratio: {} vs clean {}",
+            r.t_ratio,
+            clean.t_ratio
+        );
+    }
+
+    #[test]
+    fn liars_attract_dispatches_that_get_rejected() {
+        let clean = Scenario::quick(ProtocolChoice::Hid)
+            .nodes(120)
+            .seed(34)
+            .run();
+        let r = hostile(
+            34,
+            FaultConfig {
+                liar_frac: 0.25,
+                ..FaultConfig::default()
+            },
+        );
+        assert!(r.faults.liar_nodes > 0);
+        assert!(
+            r.rejected > clean.rejected,
+            "corrupt adverts should spike rejections: {} vs clean {}",
+            r.rejected,
+            clean.rejected
+        );
+    }
+
+    #[test]
+    fn loss_channels_count_their_drops() {
+        let r = hostile(
+            35,
+            FaultConfig {
+                loss: 0.05,
+                burst_loss: 0.8,
+                burst_len: 20,
+                burst_gap: 200,
+                ..FaultConfig::default()
+            },
+        );
+        assert!(r.faults.drops_loss > 0, "iid channel dropped nothing");
+        assert!(r.faults.drops_burst > 0, "burst channel dropped nothing");
+    }
+
+    #[test]
+    fn partitions_cut_cross_half_traffic_in_windows() {
+        let r = hostile(
+            36,
+            FaultConfig {
+                partition_period_ms: 1_800_000,
+                partition_ms: 600_000,
+                ..FaultConfig::default()
+            },
+        );
+        assert!(r.faults.drops_partition > 0, "partition cut nothing");
+        assert_eq!(r.faults.drops_loss + r.faults.drops_burst, 0);
+    }
+
+    #[test]
+    fn fault_runs_preserve_task_conservation() {
+        let r = hostile(
+            37,
+            FaultConfig {
+                blackhole_frac: 0.15,
+                loss: 0.02,
+                ..FaultConfig::default()
+            },
+        );
+        assert!(r.generated > 0);
+        assert!(
+            r.finished + r.failed + r.killed + r.rejected <= r.generated,
+            "conservation under faults"
         );
     }
 }

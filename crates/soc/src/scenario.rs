@@ -2,6 +2,7 @@
 //! and search-diversification extensions).
 
 use crate::report::RunReport;
+use soc_net::FaultConfig;
 use soc_types::SimMillis;
 use soc_workload::WorkloadSpec;
 
@@ -112,6 +113,9 @@ pub struct Scenario {
     /// zones (candidate-set diversification against the λ=0.5 re-check
     /// rejection pile-up). 0 = faithful paper behavior.
     pub corner_jitter: f64,
+    /// Fault model: blackhole/liar nodes, lossy links, partitions. The
+    /// all-zero default is the cooperative paper network, bit-for-bit.
+    pub fault: FaultConfig,
 }
 
 impl Scenario {
@@ -136,6 +140,7 @@ impl Scenario {
             checkpointing: false,
             workload: WorkloadSpec::default(),
             corner_jitter: 0.0,
+            fault: FaultConfig::default(),
         }
     }
 
@@ -200,6 +205,12 @@ impl Scenario {
         self
     }
 
+    /// Set the fault model (all-zero disables).
+    pub fn fault(mut self, f: FaultConfig) -> Self {
+        self.fault = f;
+        self
+    }
+
     /// The report's scenario descriptor. Default-workload, jitter-free
     /// configurations render exactly as before; extensions append tags.
     pub fn descriptor(&self) -> String {
@@ -212,6 +223,9 @@ impl Scenario {
         }
         if self.corner_jitter > 0.0 {
             s.push_str(&format!(" jit={}", self.corner_jitter));
+        }
+        if self.fault.enabled() {
+            s.push_str(&format!(" flt={}", self.fault.tag()));
         }
         s
     }
@@ -249,6 +263,17 @@ mod tests {
         assert_eq!(s.seed, 9);
         assert_eq!(s.churn_degree, 0.5);
         assert_eq!(s.duration_ms, 6 * 3_600_000);
+    }
+
+    #[test]
+    fn descriptor_tags_faults_only_when_enabled() {
+        let clean = Scenario::quick(ProtocolChoice::Hid);
+        assert!(!clean.descriptor().contains("flt="));
+        let hostile = clean.fault(FaultConfig {
+            blackhole_frac: 0.15,
+            ..FaultConfig::default()
+        });
+        assert!(hostile.descriptor().contains("flt=bh0.15"));
     }
 
     #[test]

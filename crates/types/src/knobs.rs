@@ -50,6 +50,12 @@ pub const KNOBS: &[Knob] = &[
         doc: "Next-hop router backend; scan recomputes the finger/greedy step every hop",
     },
     Knob {
+        name: "SOC_FAULT_DEFENSE",
+        values: "off | on",
+        default: "off",
+        doc: "Blacklist/retry defence layer under injected faults; off is the undefended baseline",
+    },
+    Knob {
         name: "SOC_BENCH_THREADS",
         values: "positive integer",
         default: "available parallelism",
