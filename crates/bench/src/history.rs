@@ -1,0 +1,643 @@
+//! Append-only bench history: one flat JSON record per `repro perf` run
+//! under `bench_history/`, plus a small rebuildable index.
+//!
+//! The previous flow overwrote `BENCH_PR2.json` in place, so a perf
+//! regression between PRs was only catchable by re-reading README prose.
+//! Here every run *appends* a record stamped with its git rev and rustc
+//! version (both passed in by the caller — never read via wall-clock or
+//! env tricks, keeping `soc-lint` clean), and [`trend`] reads the whole
+//! series back to print per-axis speedup trajectories and flag any
+//! configuration whose wall time regressed beyond a noise threshold
+//! against the best prior record.
+//!
+//! Record files are named `{seq:04}-{rev}.json` so a plain directory sort
+//! is chronological; `index.json` is a convenience summary that is
+//! regenerated from the record files on every append (delete it freely —
+//! it is never read back, only written).
+
+use soc_sim::json::{self, array, Obj, Value};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Default history directory, relative to the repo root (where `repro`
+/// runs from).
+pub const DEFAULT_DIR: &str = "bench_history";
+
+/// A configuration counts as regressed when its wall time exceeds the best
+/// (minimum) prior record's by this factor. Chosen from the observed rep-
+/// to-rep spread of the perf grid on shared runners: best-of-reps wall
+/// times for the same rev jitter up to ~15–20%, so 1.3× keeps noise
+/// silent while a real regression (the kind the queue/cache/route PRs
+/// each bought ~10–30% on) still trips it.
+pub const REGRESSION_THRESHOLD: f64 = 1.30;
+
+/// One timed grid row, as read back from a history record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistRow {
+    /// `table3` / `fig4`.
+    pub sweep: String,
+    /// `serial` / `parallel`.
+    pub mode: String,
+    /// Event-queue backend.
+    pub queue: String,
+    /// Record-cache backend.
+    pub cache: String,
+    /// Router backend.
+    pub route: String,
+    /// Best wall-clock milliseconds for this configuration.
+    pub wall_ms: u64,
+}
+
+impl HistRow {
+    /// The configuration tuple (everything but the measurement).
+    pub fn key(&self) -> String {
+        format!(
+            "{}+{}+{}+{}+route-{}",
+            self.sweep, self.mode, self.queue, self.cache, self.route
+        )
+    }
+}
+
+/// One appended `repro perf` run.
+#[derive(Clone, Debug)]
+pub struct HistRecord {
+    /// Monotonic sequence number (file-name prefix).
+    pub seq: u64,
+    /// Git revision the run was built from (short SHA, caller-supplied).
+    pub rev: String,
+    /// `rustc --version` string (caller-supplied).
+    pub rustc: String,
+    /// Scale label (`smoke` / `bench` / `full`).
+    pub scale: String,
+    /// Master seed.
+    pub seed: u64,
+    /// Timed grid rows.
+    pub rows: Vec<HistRow>,
+    /// Named speedup axes from the perf report, `(name, value)`.
+    pub speedups: Vec<(String, f64)>,
+}
+
+fn io_err(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Wrap an already-rendered `PerfReport::to_json` document into a history
+/// record and append it to `dir`, then rebuild `index.json`. Returns the
+/// record's path.
+pub fn append(
+    dir: &Path,
+    perf_json: &str,
+    rev: &str,
+    rustc: &str,
+    scale: &str,
+    seed: u64,
+) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let seq = next_seq(dir)?;
+    // Rev lands in a file name: keep it to safe characters.
+    let safe_rev: String = rev
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect();
+    let record = Obj::new()
+        .str("record", "soc-perf-history")
+        .u64("seq", seq)
+        .str("rev", rev)
+        .str("rustc", rustc)
+        .str("scale", scale)
+        .u64("seed", seed)
+        .raw("perf", perf_json.trim_end())
+        .finish();
+    let path = dir.join(format!("{seq:04}-{safe_rev}.json"));
+    std::fs::write(&path, record + "\n")?;
+    rebuild_index(dir)?;
+    Ok(path)
+}
+
+/// Migrate a legacy overwrite-in-place `BENCH_PR2.json` snapshot into the
+/// history as a normal record tagged with the rev that produced it.
+pub fn import_legacy(
+    dir: &Path,
+    legacy_path: &Path,
+    rev: &str,
+    rustc: &str,
+) -> io::Result<PathBuf> {
+    let legacy = std::fs::read_to_string(legacy_path)?;
+    let v = json::parse(&legacy).map_err(|e| io_err(format!("{}: {e}", legacy_path.display())))?;
+    let scale = v
+        .get("scale")
+        .and_then(Value::as_str)
+        .ok_or_else(|| io_err("legacy snapshot has no \"scale\"".into()))?
+        .to_string();
+    let seed = v
+        .get("seed")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| io_err("legacy snapshot has no \"seed\"".into()))?;
+    append(dir, &legacy, rev, rustc, &scale, seed)
+}
+
+/// Next free sequence number (max existing + 1; 1 when empty).
+fn next_seq(dir: &Path) -> io::Result<u64> {
+    Ok(record_files(dir)?
+        .into_iter()
+        .filter_map(|p| seq_of(&p))
+        .max()
+        .map_or(1, |m| m + 1))
+}
+
+fn seq_of(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    name.split('-').next()?.parse().ok()
+}
+
+/// All record files in `dir`, sorted by name (= by sequence).
+fn record_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files: Vec<PathBuf> = match std::fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.extension().is_some_and(|x| x == "json")
+                    && p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n != "index.json")
+            })
+            .collect(),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    files.sort();
+    Ok(files)
+}
+
+/// Load every record in `dir`, sorted by sequence number.
+pub fn load(dir: &Path) -> io::Result<Vec<HistRecord>> {
+    let mut out = Vec::new();
+    for path in record_files(dir)? {
+        let text = std::fs::read_to_string(&path)?;
+        let v = json::parse(&text).map_err(|e| io_err(format!("{}: {e}", path.display())))?;
+        out.push(parse_record(&v, &path)?);
+    }
+    out.sort_by_key(|r| r.seq);
+    Ok(out)
+}
+
+fn parse_record(v: &Value, path: &Path) -> io::Result<HistRecord> {
+    let ctx = |field: &str| io_err(format!("{}: missing/invalid {field}", path.display()));
+    if v.get("record").and_then(Value::as_str) != Some("soc-perf-history") {
+        return Err(io_err(format!(
+            "{}: not a soc-perf-history record",
+            path.display()
+        )));
+    }
+    let perf = v.get("perf").ok_or_else(|| ctx("perf"))?;
+    let rows = perf
+        .get("rows")
+        .and_then(Value::as_array)
+        .ok_or_else(|| ctx("perf.rows"))?
+        .iter()
+        .map(|r| {
+            let s = |k: &str| {
+                r.get(k)
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| ctx(&format!("perf.rows[].{k}")))
+            };
+            Ok(HistRow {
+                sweep: s("sweep")?,
+                mode: s("mode")?,
+                queue: s("queue")?,
+                cache: s("cache")?,
+                route: s("route")?,
+                wall_ms: r
+                    .get("wall_ms")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| ctx("perf.rows[].wall_ms"))?,
+            })
+        })
+        .collect::<io::Result<Vec<_>>>()?;
+    let speedups = match perf {
+        Value::Obj(fields) => fields
+            .iter()
+            .filter(|(k, _)| k.starts_with("speedup_"))
+            .filter_map(|(k, val)| val.as_f64().map(|f| (k.clone(), f)))
+            .collect(),
+        _ => Vec::new(),
+    };
+    Ok(HistRecord {
+        seq: v
+            .get("seq")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ctx("seq"))?,
+        rev: v
+            .get("rev")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ctx("rev"))?
+            .to_string(),
+        rustc: v
+            .get("rustc")
+            .and_then(Value::as_str)
+            .unwrap_or("unknown")
+            .to_string(),
+        scale: v
+            .get("scale")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ctx("scale"))?
+            .to_string(),
+        seed: v
+            .get("seed")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ctx("seed"))?,
+        rows,
+        speedups,
+    })
+}
+
+/// Regenerate `index.json`: one summary line per record. Written, never
+/// read — the record files are the source of truth.
+fn rebuild_index(dir: &Path) -> io::Result<()> {
+    let records = load(dir)?;
+    let entries = array(records.iter().map(|r| {
+        Obj::new()
+            .u64("seq", r.seq)
+            .str("rev", &r.rev)
+            .str("scale", &r.scale)
+            .u64("seed", r.seed)
+            .u64("configs", r.rows.len() as u64)
+            .finish()
+    }));
+    let doc = Obj::new()
+        .str("index", "soc-perf-history")
+        .str(
+            "note",
+            "rebuilt on every append from the record files; safe to delete",
+        )
+        .u64("records", records.len() as u64)
+        .raw("entries", &entries)
+        .finish();
+    std::fs::write(dir.join("index.json"), doc + "\n")
+}
+
+/// One regression verdict from [`trend`].
+#[derive(Clone, Debug)]
+pub struct Regression {
+    /// Configuration tuple that regressed.
+    pub key: String,
+    /// Best prior wall time (ms) and the rev that set it.
+    pub best_prior_ms: u64,
+    /// Best-setting rev.
+    pub best_rev: String,
+    /// Latest wall time (ms).
+    pub latest_ms: u64,
+    /// `latest / best_prior`.
+    pub factor: f64,
+}
+
+/// Trend analysis over the loaded history.
+#[derive(Clone, Debug)]
+pub struct Trend {
+    /// Records considered (same scale+seed as the latest record, in
+    /// sequence order).
+    pub considered: Vec<HistRecord>,
+    /// Records skipped because their scale/seed differs from the latest.
+    pub skipped: usize,
+    /// Configurations whose latest wall time exceeds
+    /// [`REGRESSION_THRESHOLD`] × best prior.
+    pub regressions: Vec<Regression>,
+}
+
+/// Analyse the history: comparable records (latest record's scale+seed),
+/// per-axis speedup trajectories, and above-threshold wall-time
+/// regressions of the latest record vs the best prior measurement of the
+/// same configuration.
+pub fn trend(records: &[HistRecord]) -> Option<Trend> {
+    let latest = records.last()?;
+    let considered: Vec<HistRecord> = records
+        .iter()
+        .filter(|r| r.scale == latest.scale && r.seed == latest.seed)
+        .cloned()
+        .collect();
+    let skipped = records.len() - considered.len();
+    let mut regressions = Vec::new();
+    let (prior, last) = considered.split_at(considered.len() - 1);
+    let last = &last[0];
+    for row in &last.rows {
+        // Best prior measurement of this exact configuration tuple.
+        let best = prior
+            .iter()
+            .flat_map(|r| {
+                r.rows
+                    .iter()
+                    .filter(|p| p.key() == row.key())
+                    .map(move |p| (p.wall_ms, r.rev.clone()))
+            })
+            .min_by_key(|&(ms, _)| ms);
+        if let Some((best_ms, best_rev)) = best {
+            let factor = row.wall_ms as f64 / best_ms.max(1) as f64;
+            if factor > REGRESSION_THRESHOLD {
+                regressions.push(Regression {
+                    key: row.key(),
+                    best_prior_ms: best_ms,
+                    best_rev,
+                    latest_ms: row.wall_ms,
+                    factor,
+                });
+            }
+        }
+    }
+    Some(Trend {
+        considered,
+        skipped,
+        regressions,
+    })
+}
+
+impl Trend {
+    /// Did any configuration regress beyond the threshold?
+    pub fn regressed(&self) -> bool {
+        !self.regressions.is_empty()
+    }
+
+    /// Human-readable trajectory + verdict.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let latest = self.considered.last().expect("non-empty");
+        let _ = writeln!(
+            out,
+            "bench history: {} comparable record(s) at scale={} seed={}{}",
+            self.considered.len(),
+            latest.scale,
+            latest.seed,
+            if self.skipped > 0 {
+                format!(" ({} skipped: different scale/seed)", self.skipped)
+            } else {
+                String::new()
+            }
+        );
+        // Per-axis speedup trajectories: every speedup key any record
+        // carries, one row per axis, one column per rev.
+        let mut axes: Vec<&str> = Vec::new();
+        for r in &self.considered {
+            for (k, _) in &r.speedups {
+                if !axes.contains(&k.as_str()) {
+                    axes.push(k);
+                }
+            }
+        }
+        let _ = writeln!(out, "\naxis\ttrajectory (oldest -> latest)");
+        for axis in &axes {
+            let traj: Vec<String> = self
+                .considered
+                .iter()
+                .map(|r| {
+                    r.speedups
+                        .iter()
+                        .find(|(k, _)| k == axis)
+                        .map(|(_, v)| format!("{v:.3}x@{}", r.rev))
+                        .unwrap_or_else(|| format!("-@{}", r.rev))
+                })
+                .collect();
+            let _ = writeln!(
+                out,
+                "{}\t{}",
+                axis.trim_start_matches("speedup_"),
+                traj.join("  ")
+            );
+        }
+        // Wall-time trajectory of the fully-optimised corner per sweep —
+        // the single number each PR tries to push down.
+        let _ = writeln!(out, "\nsweep\toptimised wall_ms (oldest -> latest)");
+        for sweep in ["table3", "fig4"] {
+            let traj: Vec<String> = self
+                .considered
+                .iter()
+                .map(|r| {
+                    r.rows
+                        .iter()
+                        .filter(|row| row.sweep == sweep)
+                        .min_by_key(|row| row.wall_ms)
+                        .map(|row| format!("{}ms@{}", row.wall_ms, r.rev))
+                        .unwrap_or_else(|| format!("-@{}", r.rev))
+                })
+                .collect();
+            let _ = writeln!(out, "{sweep}\t{}", traj.join("  "));
+        }
+        out.push('\n');
+        if self.considered.len() < 2 {
+            let _ = writeln!(
+                out,
+                "# verdict: PASS (single record; nothing prior to compare against)"
+            );
+        } else if self.regressions.is_empty() {
+            let _ = writeln!(
+                out,
+                "# verdict: PASS — no config regressed beyond {REGRESSION_THRESHOLD}x its best prior wall time"
+            );
+        } else {
+            for r in &self.regressions {
+                let _ = writeln!(
+                    out,
+                    "# REGRESSION {}: {}ms vs best {}ms @{} ({:.2}x > {REGRESSION_THRESHOLD}x)",
+                    r.key, r.latest_ms, r.best_prior_ms, r.best_rev, r.factor
+                );
+            }
+            let _ = writeln!(
+                out,
+                "# verdict: FAIL — {} config(s) regressed",
+                self.regressions.len()
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_perf_json(t3_ms: u64, f4_ms: u64, speedup: f64) -> String {
+        let rows = array([("table3", t3_ms), ("fig4", f4_ms)].iter().map(|(s, ms)| {
+            Obj::new()
+                .str("sweep", s)
+                .str("mode", "serial")
+                .str("queue", "calendar")
+                .str("cache", "indexed")
+                .str("route", "cached")
+                .u64("threads", 1)
+                .u64("wall_ms", *ms)
+                .raw("cell_ms", "[]")
+                .finish()
+        }));
+        Obj::new()
+            .str("bench", "sweep+queue+cache+route perf grid")
+            .str("scale", "bench")
+            .u64("seed", 7)
+            .bool("deterministic", true)
+            .f64("speedup_table3_optimised_vs_serial_heap_scan", speedup)
+            .raw("rows", &rows)
+            .finish()
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("soc-hist-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn append_load_round_trip_and_index() {
+        let dir = tmpdir("roundtrip");
+        let p1 = append(
+            &dir,
+            &fake_perf_json(100, 200, 1.10),
+            "aaa111",
+            "rustc 1.82.0",
+            "bench",
+            7,
+        )
+        .unwrap();
+        let p2 = append(
+            &dir,
+            &fake_perf_json(90, 210, 1.15),
+            "bbb222",
+            "rustc 1.82.0",
+            "bench",
+            7,
+        )
+        .unwrap();
+        assert!(p1
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .starts_with("0001-aaa111"));
+        assert!(p2
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .starts_with("0002-bbb222"));
+        let recs = load(&dir).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].rev, "aaa111");
+        assert_eq!(recs[1].seq, 2);
+        assert_eq!(recs[1].rows[0].wall_ms, 90);
+        assert_eq!(
+            recs[0].speedups,
+            vec![(
+                "speedup_table3_optimised_vs_serial_heap_scan".to_string(),
+                1.10
+            )]
+        );
+        let index = std::fs::read_to_string(dir.join("index.json")).unwrap();
+        assert!(index.contains("\"records\":2"));
+        assert!(index.contains("\"rev\":\"bbb222\""));
+        // The index is rebuildable: deleting it and appending again
+        // regenerates it with all three records.
+        std::fs::remove_file(dir.join("index.json")).unwrap();
+        append(
+            &dir,
+            &fake_perf_json(85, 205, 1.2),
+            "ccc333",
+            "rustc 1.82.0",
+            "bench",
+            7,
+        )
+        .unwrap();
+        let index = std::fs::read_to_string(dir.join("index.json")).unwrap();
+        assert!(index.contains("\"records\":3"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trend_passes_within_noise_and_fails_beyond() {
+        let dir = tmpdir("trend");
+        append(
+            &dir,
+            &fake_perf_json(100, 200, 1.1),
+            "r1",
+            "rustc",
+            "bench",
+            7,
+        )
+        .unwrap();
+        append(
+            &dir,
+            &fake_perf_json(110, 190, 1.1),
+            "r2",
+            "rustc",
+            "bench",
+            7,
+        )
+        .unwrap();
+        let t = trend(&load(&dir).unwrap()).unwrap();
+        assert!(!t.regressed(), "10% drift is inside the noise threshold");
+        assert!(t.render().contains("PASS"));
+
+        append(
+            &dir,
+            &fake_perf_json(150, 190, 0.9),
+            "r3",
+            "rustc",
+            "bench",
+            7,
+        )
+        .unwrap();
+        let t = trend(&load(&dir).unwrap()).unwrap();
+        assert!(t.regressed(), "1.5x vs best prior (100ms) must trip 1.3x");
+        assert_eq!(t.regressions.len(), 1);
+        let reg = &t.regressions[0];
+        assert_eq!(reg.best_prior_ms, 100);
+        assert_eq!(reg.best_rev, "r1");
+        assert!(reg.key.starts_with("table3+"));
+        assert!(t.render().contains("FAIL"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trend_skips_incomparable_scales() {
+        let dir = tmpdir("scales");
+        append(
+            &dir,
+            &fake_perf_json(10, 20, 1.0),
+            "r1",
+            "rustc",
+            "bench",
+            7,
+        )
+        .unwrap();
+        let smoke =
+            fake_perf_json(500, 900, 1.1).replace("\"scale\":\"bench\"", "\"scale\":\"smoke\"");
+        append(&dir, &smoke, "r2", "rustc", "smoke", 7).unwrap();
+        let t = trend(&load(&dir).unwrap()).unwrap();
+        // Latest is smoke: the bench record must not be compared against.
+        assert_eq!(t.considered.len(), 1);
+        assert_eq!(t.skipped, 1);
+        assert!(!t.regressed());
+        assert!(t.render().contains("single record"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_import_wraps_the_snapshot() {
+        let dir = tmpdir("legacy");
+        std::fs::create_dir_all(&dir).unwrap();
+        let legacy = dir.join("BENCH_PR2.json");
+        std::fs::write(&legacy, fake_perf_json(123, 456, 1.07)).unwrap();
+        let p = import_legacy(&dir.join("hist"), &legacy, "f453940", "rustc 1.82.0").unwrap();
+        assert!(p.file_name().unwrap().to_str().unwrap().contains("f453940"));
+        let recs = load(&dir.join("hist")).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].rev, "f453940");
+        assert_eq!(recs[0].scale, "bench");
+        assert_eq!(recs[0].seed, 7);
+        assert_eq!(recs[0].rows[0].wall_ms, 123);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trend_of_empty_history_is_none() {
+        assert!(trend(&[]).is_none());
+    }
+}

@@ -7,6 +7,7 @@
 //! the command line; the Criterion benches call the same code at smoke
 //! scale so `cargo bench` regenerates every figure's shape.
 
+pub mod history;
 pub mod perf;
 pub mod sweep;
 

@@ -9,9 +9,12 @@
 //! identical** reports — the optimisations must never change simulation
 //! results.
 //!
-//! The result is written as `BENCH_PR2.json` (the name is the repo's
-//! perf-trajectory artifact; later PRs append axes, not files) through the
-//! shared `soc_sim::json` writer.
+//! The result is appended to the `bench_history/` store (one record per
+//! run, stamped with git rev + rustc — see [`crate::history`]) through the
+//! shared `soc_sim::json` writer. The legacy overwrite-in-place
+//! `BENCH_PR2.json` path is still written for one release for external
+//! consumers; it is deprecated in favour of the history store and will be
+//! dropped next release.
 
 use crate::{fig4, sweep, table3, Scale};
 use std::fmt::Write as _;
@@ -96,6 +99,11 @@ fn run_config(scale: Scale, seed: u64, cfg: Config) -> (Vec<PerfRow>, String) {
     let _q = env_guard("SOC_SIM_QUEUE", Some(cfg.queue.to_string()));
     let _c = env_guard("SOC_CACHE", Some(cfg.cache.to_string()));
     let _r = env_guard("SOC_ROUTE", Some(cfg.route.to_string()));
+    // Wall times must stay honest (and comparable with pre-profiler
+    // history records): grid timing always runs with the profiler off,
+    // whatever the ambient environment says. Attribution has its own
+    // dedicated cell — see `profile_attribution`.
+    let _p = env_guard("SOC_PROFILE", Some("off".to_string()));
     let mut rows = Vec::new();
     let mut prints = String::new();
 
@@ -240,6 +248,31 @@ pub fn perf_compare(scale: Scale, scale_label: &'static str, seed: u64, reps: us
         rows,
         deterministic,
     }
+}
+
+/// Per-phase attribution run: the largest Table III cell (most nodes,
+/// λ=0.5, HID-CAN) once with `SOC_PROFILE=on`, rendered as the profiler's
+/// attribution table. Runs *outside* the timed grid so the timing rows
+/// stay profiler-free; returns `None` only if the runner produced no
+/// summary (impossible unless the knob plumbing broke — surfaced rather
+/// than panicking so `repro perf` degrades readably).
+pub fn profile_attribution(scale: Scale, seed: u64) -> Option<String> {
+    use crate::ProtocolChoice;
+    let _p = env_guard("SOC_PROFILE", Some("on".to_string()));
+    let nodes = *scale.table3_nodes.last().expect("table3 node grid");
+    let report = scale
+        .scenario(ProtocolChoice::Hid)
+        .nodes(nodes)
+        .lambda(0.5)
+        .seed(seed)
+        .run();
+    let profile = report.profile?;
+    let mut out = format!(
+        "== phase attribution: HID-CAN n={nodes} λ=0.5 seed={seed} (SOC_PROFILE=on, wall {} ms) ==\n",
+        report.wall_ms
+    );
+    out.push_str(&profile.render());
+    Some(out)
 }
 
 impl PerfReport {

@@ -10,7 +10,7 @@ use soc_can::greedy_next_hop_filtered;
 use soc_inscan::{IndexTables, Router};
 use soc_net::MsgKind;
 use soc_overlay::{
-    Candidate, Ctx, DiscoveryOverlay, QueryRequest, QueryVerdict, RecordCache, StateRecord,
+    Candidate, Ctx, DiscoveryOverlay, Phase, QueryRequest, QueryVerdict, RecordCache, StateRecord,
 };
 use soc_types::{NodeId, QueryId, ResVec};
 use std::collections::HashMap;
@@ -174,7 +174,10 @@ impl PidCan {
         kind: MsgKind,
         msg: PidMsg,
     ) -> bool {
-        match self.router.next_hop(ctx.can, &self.tables, node, target) {
+        let t = ctx.prof.start();
+        let hop = self.router.next_hop(ctx.can, &self.tables, node, target);
+        ctx.prof.stop(Phase::Route, t);
+        match hop {
             None => true,
             Some(next) => {
                 if ctx.host.is_suspect(node, next, ctx.now) {
@@ -216,7 +219,10 @@ impl PidCan {
         if ctx.can.zone(node).is_some_and(|z| z.contains(target)) {
             return true;
         }
-        if let Some(next) = self.router.next_hop(ctx.can, &self.tables, node, target) {
+        let t = ctx.prof.start();
+        let hop = self.router.next_hop(ctx.can, &self.tables, node, target);
+        ctx.prof.stop(Phase::Route, t);
+        if let Some(next) = hop {
             if next != avoid && ctx.host.is_alive(next) && !ctx.host.is_suspect(node, next, ctx.now)
             {
                 ctx.send(node, next, kind, msg);
@@ -388,7 +394,9 @@ impl PidCan {
         // records live in the zone enclosing the demand vector).
         if self.cfg.check_duty_cache {
             let mut found = std::mem::take(&mut self.found_buf);
+            let t = ctx.prof.start();
             self.caches[duty.idx()].qualified_into(&demand, ctx.now, &mut found);
+            ctx.prof.stop(Phase::CacheProbe, t);
             if !found.is_empty() {
                 delta = delta.saturating_sub(found.len());
                 let cands = found
@@ -712,7 +720,9 @@ impl DiscoveryOverlay for PidCan {
             } => {
                 // Algorithm 5: search the local cache.
                 let mut found = std::mem::take(&mut self.found_buf);
+                let t = ctx.prof.start();
                 self.caches[node.idx()].qualified_into(&demand, ctx.now, &mut found);
+                ctx.prof.stop(Phase::CacheProbe, t);
                 self.diag.jump_visits += 1;
                 let cands: Vec<Candidate> = found
                     .iter()

@@ -17,7 +17,8 @@ use rand::{Rng, RngExt};
 use soc_inscan::Router;
 use soc_net::MsgKind;
 use soc_overlay::{
-    Candidate, Ctx, DiscoveryOverlay, QueryRequest, QueryVerdict, RecordCache, StateRecord,
+    Candidate, Ctx, DiscoveryOverlay, Phase, ProfRef, QueryRequest, QueryVerdict, RecordCache,
+    StateRecord,
 };
 use soc_types::{NodeId, QueryId, ResVec, SimMillis};
 use std::collections::HashMap;
@@ -162,9 +163,17 @@ impl KhdnCan {
     /// Probe `node`'s cache for `demand`, returning the qualified records
     /// as `Candidate`s (empty Vec allocates nothing) via the recycled
     /// buffer.
-    fn probe_cache(&mut self, node: NodeId, demand: &ResVec, now: SimMillis) -> Vec<Candidate> {
+    fn probe_cache(
+        &mut self,
+        node: NodeId,
+        demand: &ResVec,
+        now: SimMillis,
+        prof: ProfRef<'_>,
+    ) -> Vec<Candidate> {
         let mut found = std::mem::take(&mut self.found_buf);
+        let t = prof.start();
         self.caches[node.idx()].qualified_into(demand, now, &mut found);
+        prof.stop(Phase::CacheProbe, t);
         let cands = found
             .iter()
             .map(|r| Candidate {
@@ -264,7 +273,7 @@ impl KhdnCan {
         demand: ResVec,
         mut delta: usize,
     ) {
-        let cands = self.probe_cache(node, &demand, ctx.now);
+        let cands = self.probe_cache(node, &demand, ctx.now, ctx.prof);
         if !cands.is_empty() {
             delta = delta.saturating_sub(cands.len());
             self.notify_found(ctx, node, qid, requester, cands);
@@ -322,7 +331,7 @@ impl KhdnCan {
         mut delta: usize,
         hops_left: usize,
     ) {
-        let cands = self.probe_cache(node, &demand, ctx.now);
+        let cands = self.probe_cache(node, &demand, ctx.now, ctx.prof);
         if !cands.is_empty() {
             delta = delta.saturating_sub(cands.len());
             self.notify_found(ctx, node, qid, requester, cands);
@@ -418,7 +427,10 @@ impl KhdnCan {
         kind: MsgKind,
         msg: KhdnMsg,
     ) -> bool {
-        match self.router.greedy_hop(ctx.can, node, target) {
+        let t = ctx.prof.start();
+        let hop = self.router.greedy_hop(ctx.can, node, target);
+        ctx.prof.stop(Phase::Route, t);
+        match hop {
             None => true,
             Some(next) => {
                 ctx.send(node, next, kind, msg);

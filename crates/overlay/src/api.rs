@@ -3,6 +3,7 @@
 use rand::rngs::SmallRng;
 use soc_can::CanOverlay;
 use soc_net::{MsgCounts, MsgKind};
+use soc_profile::ProfRef;
 use soc_types::{NodeId, QueryId, ResVec, SimMillis};
 
 /// Protocol-defined timer discriminant (e.g. "state-update cycle",
@@ -109,6 +110,11 @@ pub struct Ctx<'a, M> {
     pub host: &'a dyn HostInfo,
     /// Protocol randomness (its own deterministic stream).
     pub rng: &'a mut SmallRng,
+    /// Profiler handle for detail spans (routing, cache probes). Detached
+    /// by default; the scenario runner attaches its run profiler after
+    /// construction. Recording through it is observation-only — a span
+    /// never changes protocol behaviour.
+    pub prof: ProfRef<'a>,
     effects: Vec<Effect<M>>,
     /// Per-kind counts of everything sent or charged in this callback,
     /// flushed by the runner as one `MsgStats::record_batch` instead of a
@@ -129,6 +135,7 @@ impl<'a, M> Ctx<'a, M> {
             can,
             host,
             rng,
+            prof: ProfRef::none(),
             effects: Vec::new(),
             sent: MsgCounts::new(),
         }
@@ -152,6 +159,7 @@ impl<'a, M> Ctx<'a, M> {
             can,
             host,
             rng,
+            prof: ProfRef::none(),
             effects: buffer,
             sent: MsgCounts::new(),
         }

@@ -113,6 +113,11 @@ pub struct RunReport {
     pub faults: FaultSummary,
     /// Wall-clock runtime of the simulation (diagnostics only).
     pub wall_ms: u128,
+    /// Per-phase wall-time attribution (`SOC_PROFILE=on` only; `None` when
+    /// the profiler is off). Observation-only diagnostics — never
+    /// fingerprinted, like `wall_ms`.
+    #[cfg_attr(feature = "serde", serde(skip))]
+    pub profile: Option<soc_profile::ProfileSummary>,
     /// Protocol-internal diagnostic counters (free-form).
     pub diag: String,
 }
@@ -126,7 +131,11 @@ pub struct RunReport {
 ///
 /// - `wall_ms`: wall-clock runtime, diagnostics only. It varies run to run
 ///   by construction and must never affect bitwise-equivalence checks.
-pub const FINGERPRINT_EXCLUDED: &[&str] = &["wall_ms"];
+/// - `profile`: per-phase wall-time attribution (`SOC_PROFILE=on`). Pure
+///   observation of the run, made of wall-clock reads; fingerprinting it
+///   would both vary run to run and break the on/off bitwise-equivalence
+///   contract the `profile_equivalence` suite pins.
+pub const FINGERPRINT_EXCLUDED: &[&str] = &["wall_ms", "profile"];
 
 impl RunReport {
     /// One-line human summary.
@@ -310,6 +319,20 @@ impl RunReport {
                     .finish(),
             )
             .u64("wall_ms", self.wall_ms as u64)
+            .raw(
+                "profile",
+                &match &self.profile {
+                    None => "null".to_string(),
+                    Some(p) => array(p.phases.iter().map(|ph| {
+                        Obj::new()
+                            .str("phase", ph.label)
+                            .str("group", ph.group)
+                            .u64("ns", ph.ns)
+                            .u64("count", ph.count)
+                            .finish()
+                    })),
+                },
+            )
             .str("diag", &self.diag)
             .raw("series", &series)
             .finish()
@@ -357,6 +380,7 @@ mod tests {
             msg_breakdown: vec![("state-update".into(), 3000), ("duty-query".into(), 2000)],
             faults: FaultSummary::default(),
             wall_ms: 12,
+            profile: None,
             diag: String::new(),
         }
     }
@@ -439,5 +463,41 @@ mod tests {
         let mut d = fake();
         d.t_ratio += 1e-15; // even sub-print-precision drift must show
         assert_ne!(a.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_ignores_profile() {
+        // The on/off bitwise-equivalence contract: attaching a profile
+        // summary must not perturb the fingerprint by a single byte.
+        let a = fake();
+        let mut b = fake();
+        b.profile = Some(soc_profile::ProfileSummary {
+            phases: vec![soc_profile::PhaseStat {
+                label: "deliver",
+                group: "dispatch",
+                ns: 123_456_789,
+                count: 42,
+            }],
+        });
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn json_profile_block_none_and_some() {
+        let a = fake();
+        assert!(a.to_json().contains("\"profile\":null"));
+        let mut b = fake();
+        b.profile = Some(soc_profile::ProfileSummary {
+            phases: vec![soc_profile::PhaseStat {
+                label: "route",
+                group: "detail",
+                ns: 1000,
+                count: 3,
+            }],
+        });
+        let j = b.to_json();
+        assert!(j.contains(
+            "\"profile\":[{\"phase\":\"route\",\"group\":\"detail\",\"ns\":1000,\"count\":3}]"
+        ));
     }
 }

@@ -11,7 +11,9 @@ use soc_gossip::{GossipConfig, Newscast};
 use soc_khdn::{KhdnCan, KhdnConfig};
 use soc_metrics::TaskTracker;
 use soc_net::{FaultPlan, LanTopology, LatencyConfig, MsgKind, MsgStats};
-use soc_overlay::{Candidate, Ctx, DiscoveryOverlay, Effect, HostInfo, QueryRequest, QueryVerdict};
+use soc_overlay::{
+    Candidate, Ctx, DiscoveryOverlay, Effect, HostInfo, Phase, Profiler, QueryRequest, QueryVerdict,
+};
 use soc_psm::{NodeExec, PsmConfig, RunningTask};
 use soc_simcore::{stream_rng, EventQueue, RngStreams};
 use soc_types::{NodeId, QueryId, ResVec, SimMillis, TaskId, PERF_DIMS};
@@ -179,6 +181,12 @@ struct Sim<'s, P: DiscoveryOverlay> {
     /// Fault-injection stream: consumed only when the fault model is
     /// enabled, so clean runs never touch it.
     rng_fault: SmallRng,
+    /// Per-phase wall-time attribution (`SOC_PROFILE=on`, read once at
+    /// construction like the defence knob). Observation-only: it draws no
+    /// randomness, owns no simulation state, and its summary is excluded
+    /// from the fingerprint — the `profile_equivalence` suite pins on/off
+    /// runs bitwise-identical.
+    prof: Profiler,
 }
 
 /// Extra node-id headroom so churn joins get fresh ids before old ones are
@@ -283,6 +291,7 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
             rng_dispatch: stream_rng(sc.seed, RngStreams::Dispatch),
             rng_overlay,
             rng_fault,
+            prof: Profiler::from_env(),
         }
     }
 
@@ -405,9 +414,12 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
             &mut self.rng_proto,
             buf,
         );
+        ctx.prof = self.prof.handle();
         f(&mut self.proto, &mut ctx);
         let (fx, sent) = ctx.finish();
+        let t = self.prof.start();
         self.stats.record_batch(&sent);
+        self.prof.stop(Phase::StatsFlush, t);
         self.fx_buf = self.apply_effects(fx);
     }
 
@@ -433,8 +445,13 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
                             // Latency is sampled before the fault verdict so
                             // the per-send `rng_net` draw sequence is exactly
                             // the clean run's — the stream-isolation invariant.
+                            let t = self.prof.start();
                             let lat = self.topo.latency(from, to, &mut self.rng_net);
-                            if self.fault_drops_send(from, to) {
+                            self.prof.stop(Phase::Latency, t);
+                            let t = self.prof.start();
+                            let dropped = self.fault_drops_send(from, to);
+                            self.prof.stop(Phase::Fault, t);
+                            if dropped {
                                 self.suspect_later(from, to);
                             } else {
                                 self.queue.schedule_in(
@@ -454,9 +471,12 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
                                 &self.hosts,
                                 &mut self.rng_proto,
                             );
+                            ctx.prof = self.prof.handle();
                             self.proto.on_message_dropped(&mut ctx, from, to, msg);
                             let (fx, sent) = ctx.finish();
+                            let t = self.prof.start();
                             self.stats.record_batch(&sent);
+                            self.prof.stop(Phase::StatsFlush, t);
                             next.extend(fx);
                         }
                     }
@@ -627,7 +647,10 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
     fn schedule_completion(&mut self, node: NodeId) {
         let now = self.queue.now();
         let exec = &mut self.hosts.execs[node.idx()];
-        match exec.next_completion(now) {
+        let t = self.prof.start();
+        let predicted = exec.next_completion(now);
+        self.prof.stop(Phase::PsmPredict, t);
+        match predicted {
             Some(at) => {
                 let epoch = exec.epoch();
                 match self.comp_sched[node.idx()] {
@@ -893,7 +916,13 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
         self.schedule_next_churn();
 
         let deadline = self.sc.duration_ms;
-        while let Some((_, ev)) = self.queue.pop_until(deadline) {
+        loop {
+            let t_pop = self.prof.start();
+            let popped = self.queue.pop_until(deadline);
+            self.prof.stop(Phase::QueuePop, t_pop);
+            let Some((_, ev)) = popped else { break };
+            let t_ev = self.prof.start();
+            let ph = dispatch_phase(&ev);
             match ev {
                 Ev::Deliver {
                     from,
@@ -932,12 +961,15 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
                 Ev::ChurnSwap => self.churn_swap(),
                 Ev::Sample => {
                     let now = self.queue.now();
+                    let t = self.prof.start();
                     self.tracker.sample(now);
+                    self.prof.stop(Phase::StatsFlush, t);
                     if now + self.sc.sample_ms <= deadline {
                         self.queue.schedule_in(self.sc.sample_ms, Ev::Sample);
                     }
                 }
             }
+            self.prof.stop(ph, t_ev);
         }
         // Final sample exactly at the deadline. When the periodic chain
         // already sampled there (duration an exact multiple of sample_ms),
@@ -956,6 +988,10 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
             .into_iter()
             .map(|(k, c)| (k.label().to_string(), c))
             .collect();
+        // Pushes are too fine-grained to time individually; the queue's own
+        // scheduling counter gives the invocation count for free.
+        self.prof
+            .add_count(Phase::QueuePush, self.queue.scheduled_total());
         RunReport {
             label: self.proto.name().to_string(),
             scenario: self.sc.descriptor(),
@@ -1008,8 +1044,25 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
                 suspected_honest: self.suspected_honest,
             },
             wall_ms: wall_start.elapsed().as_millis(),
+            profile: self.prof.summary(),
             diag: self.proto.diag_string(),
         }
+    }
+}
+
+/// The dispatch-group phase charged for one popped event. Total order and
+/// disjointness come for free: every event lands in exactly one arm.
+fn dispatch_phase<M>(ev: &Ev<M>) -> Phase {
+    match ev {
+        Ev::Deliver { .. } => Phase::DeliverMsg,
+        Ev::ProtoTimer { .. } => Phase::ProtoTimer,
+        Ev::Arrival { .. } => Phase::Arrival,
+        Ev::QueryTimeout { .. } => Phase::QueryTimeout,
+        Ev::TaskArrive { .. } => Phase::TaskArrive,
+        Ev::Completion { .. } => Phase::Completion,
+        Ev::Suspect { .. } => Phase::Suspect,
+        Ev::ChurnSwap => Phase::ChurnSwap,
+        Ev::Sample => Phase::Sample,
     }
 }
 

@@ -56,6 +56,12 @@ pub const KNOBS: &[Knob] = &[
         doc: "Blacklist/retry defence layer under injected faults; off is the undefended baseline",
     },
     Knob {
+        name: "SOC_PROFILE",
+        values: "off | on",
+        default: "off",
+        doc: "Per-phase runtime profiler in the scenario runner; observation-only, never fingerprinted",
+    },
+    Knob {
         name: "SOC_BENCH_THREADS",
         values: "positive integer",
         default: "available parallelism",
