@@ -48,6 +48,7 @@ pub struct PartitionTree {
     /// O(d) containment — usually skips the O(depth) descent. Invalidated
     /// on every structural change; leaves tile the space, so any *live*
     /// leaf whose zone contains the point is the unique correct answer.
+    // soc-lint: allow(no-shared-mut-state) -- a Sim (and its PartitionTree) never crosses threads mid-run; the cell is a pure lookup hint, re-derivable from the tree
     last_hit: Cell<usize>,
 }
 
@@ -71,6 +72,7 @@ impl PartitionTree {
             root: 0,
             leaf_of,
             dim,
+            // soc-lint: allow(no-shared-mut-state) -- see the field doc: single-threaded find_leaf hint
             last_hit: Cell::new(NO_HIT),
         }
     }

@@ -1,0 +1,248 @@
+//! The workspace **item graph**: which `crate::module` declares each
+//! named item, and which files reference it.
+//!
+//! Built once per lint run from every file's [`FileItems`]; cross-file
+//! rules then phrase themselves declaratively against it instead of
+//! re-scanning tokens: *"find `enum RngStreams`, list its variants, list
+//! the files that mention each"* (`rng-stream-ownership`), or *"what is
+//! the declared type of field `xs` on the struct behind this `impl`?"*
+//! (`float-reduce-order`'s ordered-source proof). See the README's
+//! "writing a cross-file rule" section for the intended API shape.
+
+use crate::items::{Field, Item, ItemKind, Variant};
+use crate::lexer::TokenKind;
+use crate::WorkspaceFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One declaration site of a named item.
+#[derive(Clone, Debug)]
+pub struct Decl {
+    /// Declaring crate (`soc`, `simcore`, …; `root` for the facade
+    /// `src/` tree).
+    pub krate: String,
+    /// Module path inside the crate (`""` for the crate root, `rng`,
+    /// `fault`, …), derived from the file path.
+    pub module: String,
+    /// Declaring file, workspace-root-relative.
+    pub file: String,
+    pub line: u32,
+    pub kind: ItemKind,
+    /// Index of the declaring file in the lint run's file list.
+    pub file_index: usize,
+    /// Index into that file's `FileItems::items`.
+    pub item_index: usize,
+}
+
+/// Crate + module ownership and use-edges for every named item.
+pub struct ItemGraph {
+    /// Item name → declaration sites (an item tree, flattened).
+    decls: BTreeMap<String, Vec<Decl>>,
+    /// Item name → files whose token stream references it (excluding
+    /// the declaring file).
+    refs: BTreeMap<String, BTreeSet<String>>,
+}
+
+/// `crates/foo/src/bar/baz.rs` → (`foo`, `bar::baz`); `src/lib.rs` →
+/// (`root`, `""`). Tests/benches get their stem as the module.
+fn crate_and_module(rel: &str) -> (String, String) {
+    let krate = rel
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("root")
+        .to_string();
+    let tail = rel
+        .rsplit_once("/src/")
+        .map(|(_, m)| m)
+        .or_else(|| rel.rsplit('/').next())
+        .unwrap_or(rel);
+    let module = tail
+        .trim_end_matches(".rs")
+        .trim_end_matches("lib")
+        .trim_end_matches("main")
+        .trim_end_matches('/')
+        .replace('/', "::");
+    (krate, module)
+}
+
+impl ItemGraph {
+    /// Build the graph over every scanned file.
+    pub fn build(files: &[WorkspaceFile]) -> ItemGraph {
+        let mut decls: BTreeMap<String, Vec<Decl>> = BTreeMap::new();
+        for (fx, wf) in files.iter().enumerate() {
+            let (krate, module) = crate_and_module(&wf.info.rel);
+            for (ix, item) in wf.items.items.iter().enumerate() {
+                if item.name.is_empty() || item.kind == ItemKind::Impl {
+                    continue; // impls attach to their type's decl instead
+                }
+                decls.entry(item.name.clone()).or_default().push(Decl {
+                    krate: krate.clone(),
+                    module: module.clone(),
+                    file: wf.info.rel.clone(),
+                    line: item.line,
+                    kind: item.kind,
+                    file_index: fx,
+                    item_index: ix,
+                });
+            }
+        }
+        // Use-edges: every ident token matching a declared name, from any
+        // file other than a declaring one. Deliberately name-based (the
+        // lexer has no resolution) — good enough for "who talks about
+        // `RngStreams`", which is how the rules consume it.
+        let mut refs: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for wf in files {
+            for tok in &wf.src.tokens {
+                if tok.kind != TokenKind::Ident {
+                    continue;
+                }
+                if let Some(sites) = decls.get(&tok.text) {
+                    if sites.iter().all(|d| d.file != wf.info.rel) {
+                        refs.entry(tok.text.clone())
+                            .or_default()
+                            .insert(wf.info.rel.clone());
+                    }
+                }
+            }
+        }
+        ItemGraph { decls, refs }
+    }
+
+    /// Declaration sites of `name` (empty slice when undeclared).
+    pub fn decls(&self, name: &str) -> &[Decl] {
+        self.decls.get(name).map_or(&[], |v| v.as_slice())
+    }
+
+    /// The declaring crate, when `name` has exactly one declaration site
+    /// of the given kind.
+    pub fn owner_crate(&self, name: &str, kind: ItemKind) -> Option<&str> {
+        let mut it = self.decls(name).iter().filter(|d| d.kind == kind);
+        match (it.next(), it.next()) {
+            (Some(d), None) => Some(&d.krate),
+            _ => None,
+        }
+    }
+
+    /// Files referencing `name` (excluding its declaring files).
+    pub fn referencing_files(&self, name: &str) -> impl Iterator<Item = &str> {
+        self.refs
+            .get(name)
+            .into_iter()
+            .flat_map(|s| s.iter().map(|f| f.as_str()))
+    }
+
+    /// Resolve the unique `enum name` declaration and return its item.
+    pub fn enum_item<'a>(&self, files: &'a [WorkspaceFile], name: &str) -> Option<&'a Item> {
+        let d = self.decls(name).iter().find(|d| d.kind == ItemKind::Enum)?;
+        Some(&files[d.file_index].items.items[d.item_index])
+    }
+
+    /// Variants of the unique `enum name`, wherever it is declared.
+    pub fn enum_variants<'a>(&self, files: &'a [WorkspaceFile], name: &str) -> &'a [Variant] {
+        self.enum_item(files, name)
+            .map_or(&[], |i| i.variants.as_slice())
+    }
+
+    /// The declared field list of `struct ty_name`, preferring a
+    /// declaration in `krate` (an impl in one file may resolve against a
+    /// struct declared in a sibling module file).
+    pub fn struct_fields<'a>(
+        &self,
+        files: &'a [WorkspaceFile],
+        krate: &str,
+        ty_name: &str,
+    ) -> Option<&'a [Field]> {
+        let candidates: Vec<&Decl> = self
+            .decls(ty_name)
+            .iter()
+            .filter(|d| d.kind == ItemKind::Struct)
+            .collect();
+        let d = candidates.iter().find(|d| d.krate == krate).or_else(|| {
+            if candidates.len() == 1 {
+                candidates.first()
+            } else {
+                None
+            }
+        })?;
+        Some(&files[d.file_index].items.items[d.item_index].fields)
+    }
+
+    /// Declared type of `ty_name.field`, resolved per [`Self::struct_fields`].
+    pub fn field_ty<'a>(
+        &self,
+        files: &'a [WorkspaceFile],
+        krate: &str,
+        ty_name: &str,
+        field: &str,
+    ) -> Option<&'a str> {
+        self.struct_fields(files, krate, ty_name)?
+            .iter()
+            .find(|f| f.name == field)
+            .map(|f| f.ty.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::FileItems;
+    use crate::lexer::SourceFile;
+    use crate::FileInfo;
+
+    fn wf(rel: &str, src: &str) -> WorkspaceFile {
+        let sf = SourceFile::parse(src);
+        let items = FileItems::parse(&sf);
+        WorkspaceFile {
+            info: FileInfo::classify(rel),
+            src: sf,
+            items,
+        }
+    }
+
+    #[test]
+    fn module_paths_derive_from_file_paths() {
+        assert_eq!(
+            crate_and_module("crates/simcore/src/rng.rs"),
+            ("simcore".into(), "rng".into())
+        );
+        assert_eq!(
+            crate_and_module("crates/soc/src/lib.rs"),
+            ("soc".into(), "".into())
+        );
+        assert_eq!(crate_and_module("src/lib.rs"), ("root".into(), "".into()));
+    }
+
+    #[test]
+    fn ownership_and_use_edges_resolve_cross_file() {
+        let files = vec![
+            wf(
+                "crates/simcore/src/rng.rs",
+                "pub enum RngStreams { Workload, Fault }",
+            ),
+            wf(
+                "crates/soc/src/runner.rs",
+                "fn go() { let r = stream_rng(1, RngStreams::Fault); }",
+            ),
+            wf(
+                "crates/soc/src/state.rs",
+                "pub struct Acc { pub xs: Vec<f64> }",
+            ),
+            wf(
+                "crates/soc/src/calc.rs",
+                "impl Acc { fn total(&self) -> f64 { self.xs.iter().sum() } }",
+            ),
+        ];
+        let g = ItemGraph::build(&files);
+        assert_eq!(g.owner_crate("RngStreams", ItemKind::Enum), Some("simcore"));
+        let vs: Vec<_> = g
+            .enum_variants(&files, "RngStreams")
+            .iter()
+            .map(|v| v.name.as_str())
+            .collect();
+        assert_eq!(vs, ["Workload", "Fault"]);
+        let refs: Vec<_> = g.referencing_files("RngStreams").collect();
+        assert_eq!(refs, ["crates/soc/src/runner.rs"]);
+        // Cross-file impl → struct field type resolution.
+        assert_eq!(g.field_ty(&files, "soc", "Acc", "xs"), Some("Vec < f64 >"));
+        assert_eq!(g.field_ty(&files, "soc", "Acc", "nope"), None);
+    }
+}

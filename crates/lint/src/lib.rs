@@ -3,17 +3,22 @@
 //! A workspace-wide determinism-discipline static analysis pass, in the
 //! house style of the hand-rolled JSON emitter and scenario format: no
 //! crates.io (so no `syn`/`dylint`), just a comment/string-stripping
-//! lexer ([`lexer`]) and a token-pattern rule engine ([`rules`]).
+//! lexer ([`lexer`]) and two rule layers on top of it — token-pattern
+//! rules ([`rules`]) and, since v2, item-graph rules ([`shard`]) written
+//! against a per-file item tree ([`items`]) and a workspace
+//! use/ownership graph ([`graph`]).
 //!
 //! Every optimisation axis in this workspace (`SOC_SIM_QUEUE`,
 //! `SOC_CACHE`, `SOC_ROUTE`) is pinned bitwise-identical to a reference
 //! backend, and the next planned steps (10⁵–10⁶-node scaling, a sharded
 //! intra-run executor) stay honest only if that discipline is enforced
 //! mechanically. These rules encode the invariants that previously lived
-//! in tests and prose: RNG stream isolation, no unordered-collection
-//! iteration on fingerprint-feeding paths, no wall clock outside the
-//! bench harness, every `SOC_*` knob documented, every fingerprint
-//! exclusion declared, every `#[ignore]` suite wired into CI.
+//! in tests and prose: RNG stream isolation and ownership, no
+//! unordered-collection iteration or order-sensitive float reduction on
+//! fingerprint-feeding paths, no shared mutable state a shard boundary
+//! could cross, no wall clock outside the bench harness, every `SOC_*`
+//! knob documented, every fingerprint exclusion declared, every
+//! `#[ignore]` suite wired into CI, every dispatch arm profiled.
 //!
 //! Findings are suppressible only via a justified pragma on (or directly
 //! above) the offending line:
@@ -25,15 +30,23 @@
 //! A pragma without a `-- reason`, with an unknown rule name, or that
 //! suppresses nothing is itself a finding — suppressions cannot rot.
 
+pub mod explain;
+pub mod graph;
+pub mod items;
 pub mod lexer;
 pub mod rules;
+pub mod shard;
 
+use graph::ItemGraph;
+use items::FileItems;
 use lexer::SourceFile;
-use std::collections::BTreeSet;
+use soc_sim::json;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-pub use rules::{META_RULES, RULES};
+pub use rules::{markdown_rules_table, META_RULES, RULES};
+pub use shard::{RNG_PATH, RUNNER_PATH};
 
 /// One diagnostic: `path:line: [rule] message`.
 #[derive(Clone, Debug)]
@@ -55,6 +68,14 @@ impl fmt::Display for Finding {
     }
 }
 
+/// A scanned file with everything the two rule layers need: its scope
+/// classification, lexed token stream, and parsed item tree.
+pub struct WorkspaceFile {
+    pub info: FileInfo,
+    pub src: SourceFile,
+    pub items: FileItems,
+}
+
 /// Outcome of linting one workspace.
 pub struct LintReport {
     /// Surviving findings, sorted by (path, line, rule).
@@ -63,11 +84,72 @@ pub struct LintReport {
     pub files_scanned: usize,
     /// Findings suppressed by justified pragmas.
     pub suppressed: usize,
+    /// Per-rule suppression counts (rules with ≥1 suppression only).
+    pub suppressed_by_rule: Vec<(&'static str, usize)>,
+    /// Distinct justified pragma comment lines that suppressed ≥1
+    /// finding — the number CI pins exactly so pragma creep is loud.
+    pub pragma_sites: usize,
 }
 
 impl LintReport {
     pub fn clean(&self) -> bool {
         self.findings.is_empty()
+    }
+
+    /// Surviving finding counts per rule (rules with ≥1 finding only).
+    pub fn findings_by_rule(&self) -> Vec<(&'static str, usize)> {
+        let mut by: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for f in &self.findings {
+            *by.entry(f.rule).or_default() += 1;
+        }
+        by.into_iter().collect()
+    }
+
+    fn suppressed_for(&self, rule: &str) -> usize {
+        self.suppressed_by_rule
+            .iter()
+            .find(|(r, _)| *r == rule)
+            .map_or(0, |(_, n)| *n)
+    }
+
+    /// Machine-readable report through the workspace's hand-rolled JSON
+    /// emitter (`soc_sim::json`, no serde) — uploaded as a CI artifact
+    /// so lint deltas are diffable across PRs.
+    pub fn to_json(&self) -> String {
+        let by_rule = self.findings_by_rule();
+        let count_for = |rule: &str| {
+            by_rule
+                .iter()
+                .find(|(r, _)| *r == rule)
+                .map_or(0, |(_, n)| *n)
+        };
+        let rules = RULES
+            .iter()
+            .map(|(name, _)| *name)
+            .chain(META_RULES.iter().copied())
+            .map(|name| {
+                json::Obj::new()
+                    .str("rule", name)
+                    .u64("findings", count_for(name) as u64)
+                    .u64("suppressed", self.suppressed_for(name) as u64)
+                    .finish()
+            });
+        let findings = self.findings.iter().map(|f| {
+            json::Obj::new()
+                .str("rule", f.rule)
+                .str("path", &f.path)
+                .u64("line", f.line as u64)
+                .str("msg", &f.msg)
+                .finish()
+        });
+        json::Obj::new()
+            .bool("clean", self.clean())
+            .u64("files_scanned", self.files_scanned as u64)
+            .u64("suppressed", self.suppressed as u64)
+            .u64("pragma_sites", self.pragma_sites as u64)
+            .raw("rules", &json::array(rules))
+            .raw("findings", &json::array(findings))
+            .finish()
     }
 }
 
@@ -152,41 +234,60 @@ fn walk(root: &Path, rel: &str, out: &mut Vec<String>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Lint the workspace rooted at `root`.
-pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
-    let mut rel_paths = Vec::new();
-    walk(root, "", &mut rel_paths)?;
-
-    let mut files: Vec<(FileInfo, SourceFile)> = Vec::with_capacity(rel_paths.len());
-    for rel in &rel_paths {
-        let text = std::fs::read_to_string(root.join(rel))?;
-        files.push((FileInfo::classify(rel), SourceFile::parse(&text)));
+fn load(rel: &str, text: &str) -> WorkspaceFile {
+    let src = SourceFile::parse(text);
+    let items = FileItems::parse(&src);
+    WorkspaceFile {
+        info: FileInfo::classify(rel),
+        src,
+        items,
     }
+}
 
-    let readme = std::fs::read_to_string(root.join("README.md")).ok();
-    let ci = std::fs::read_to_string(root.join(rules::CI_PATH)).ok();
-
+/// Run every rule over a prepared file set. `readme`/`ci` carry the two
+/// non-Rust inputs some workspace rules correlate against.
+fn run_rules(files: &[WorkspaceFile], readme: Option<&str>, ci: Option<&str>) -> LintReport {
     // Registry declarations first: the per-file knob check needs them.
-    let registry = files.iter().find(|(fi, _)| fi.rel == rules::REGISTRY_PATH);
+    let registry = files.iter().find(|wf| wf.info.rel == rules::REGISTRY_PATH);
     let entries = registry
-        .map(|(_, sf)| rules::registry_entries(sf))
+        .map(|wf| rules::registry_entries(&wf.src))
         .unwrap_or_default();
     let declared: BTreeSet<String> = entries.iter().map(|e| e.name.clone()).collect();
 
+    // Item layer: the workspace graph and the declared RNG owner map.
+    let item_graph = ItemGraph::build(files);
+    let rng = files.iter().find(|wf| wf.info.rel == shard::RNG_PATH);
+    let owners = rng
+        .map(|wf| shard::stream_owners(&wf.src))
+        .unwrap_or(shard::StreamOwners {
+            entries: Vec::new(),
+            declared: false,
+        });
+
     let mut raw: Vec<Finding> = Vec::new();
-    for (fi, sf) in &files {
+    for wf in files {
+        let (fi, sf) = (&wf.info, &wf.src);
         rules::no_wall_clock(fi, sf, &mut raw);
         rules::no_unordered_iter(fi, sf, &mut raw);
         rules::no_unstable_sort(fi, sf, &mut raw);
         rules::rng_stream_discipline(fi, sf, &mut raw);
         rules::env_knob_reads(fi, sf, &declared, &mut raw);
-        rules::ignored_test_wiring(fi, sf, ci.as_deref(), &mut raw);
+        rules::ignored_test_wiring(fi, sf, ci, &mut raw);
         if fi.rel == rules::REPORT_PATH {
             rules::fingerprint_coverage(fi, sf, &mut raw);
         }
+        shard::no_shared_mut_state(wf, &mut raw);
+        shard::rng_stream_ownership_uses(wf, &owners, &mut raw);
+        shard::float_reduce_order(wf, &item_graph, files, &mut raw);
+        if fi.rel == shard::RUNNER_PATH {
+            shard::profiler_span_coverage(wf, &mut raw);
+        }
     }
-    if let Some((fi, _)) = registry {
-        rules::env_knob_registry_decls(fi, &entries, readme.as_deref(), &mut raw);
+    if let Some(wf) = registry {
+        rules::env_knob_registry_decls(&wf.info, &entries, readme, &mut raw);
+    }
+    if let Some(wf) = rng {
+        shard::rng_stream_ownership_decls(wf, &owners, &mut raw);
     }
 
     // Pragma application: a finding survives unless a well-formed,
@@ -194,12 +295,13 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
     let known: BTreeSet<&str> = RULES.iter().map(|(n, _)| *n).collect();
     let mut findings: Vec<Finding> = Vec::new();
     let mut suppressed = 0usize;
+    let mut suppressed_by: BTreeMap<&'static str, usize> = BTreeMap::new();
     let mut used: BTreeSet<(String, u32)> = BTreeSet::new(); // (path, pragma line)
 
     for f in raw {
         let mut keep = true;
-        if let Some((fi, sf)) = files.iter().find(|(fi, _)| fi.rel == f.path) {
-            for p in &sf.pragmas {
+        if let Some(wf) = files.iter().find(|wf| wf.info.rel == f.path) {
+            for p in &wf.src.pragmas {
                 if !p.malformed
                     && !p.reason.is_empty()
                     && p.target_line == f.line
@@ -207,7 +309,8 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
                 {
                     keep = false;
                     suppressed += 1;
-                    used.insert((fi.rel.clone(), p.line));
+                    *suppressed_by.entry(f.rule).or_default() += 1;
+                    used.insert((wf.info.rel.clone(), p.line));
                     break;
                 }
             }
@@ -219,8 +322,9 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
 
     // Pragma hygiene: malformed, unknown-rule and dead pragmas are
     // findings themselves — the suppression surface cannot rot silently.
-    for (fi, sf) in &files {
-        for p in &sf.pragmas {
+    for wf in files {
+        let fi = &wf.info;
+        for p in &wf.src.pragmas {
             if p.malformed {
                 findings.push(Finding {
                     rule: "malformed-pragma",
@@ -266,11 +370,38 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
 
     findings
         .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
-    Ok(LintReport {
+    LintReport {
         findings,
         files_scanned: files.len(),
         suppressed,
-    })
+        suppressed_by_rule: suppressed_by.into_iter().collect(),
+        pragma_sites: used.len(),
+    }
+}
+
+/// Lint the workspace rooted at `root`.
+pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
+    let mut rel_paths = Vec::new();
+    walk(root, "", &mut rel_paths)?;
+
+    let mut files: Vec<WorkspaceFile> = Vec::with_capacity(rel_paths.len());
+    for rel in &rel_paths {
+        let text = std::fs::read_to_string(root.join(rel))?;
+        files.push(load(rel, &text));
+    }
+
+    let readme = std::fs::read_to_string(root.join("README.md")).ok();
+    let ci = std::fs::read_to_string(root.join(rules::CI_PATH)).ok();
+    Ok(run_rules(&files, readme.as_deref(), ci.as_deref()))
+}
+
+/// Lint a single in-memory file as if it were the whole workspace at
+/// path `rel` — the engine behind `--explain`'s good/bad example pairs
+/// (and handy in tests). Workspace inputs (README, CI) are absent;
+/// path-pinned rules still fire when `rel` matches their file.
+pub fn lint_source(rel: &str, text: &str) -> LintReport {
+    let files = vec![load(rel, text)];
+    run_rules(&files, None, None)
 }
 
 /// Walk upward from `start` to the first directory whose `Cargo.toml`

@@ -1,8 +1,8 @@
-//! `soc-lint` CLI: lint the workspace, print `file:line` diagnostics,
-//! exit non-zero on any unjustified finding.
+//! `soc-lint` CLI: lint the workspace, print `file:line` diagnostics and
+//! a per-rule summary, exit non-zero on any unjustified finding.
 //!
 //! ```text
-//! soc-lint [--root PATH] [--list-rules]
+//! soc-lint [--root PATH] [--json PATH] [--list-rules] [--explain RULE]
 //! ```
 
 use std::path::PathBuf;
@@ -10,6 +10,7 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
+    let mut json_out: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -23,6 +24,20 @@ fn main() -> ExitCode {
                 }
                 return ExitCode::SUCCESS;
             }
+            "--explain" => match args.next() {
+                Some(rule) => {
+                    let Some(e) = soc_lint::explain::explain(&rule) else {
+                        eprintln!("soc-lint: no rule `{rule}` (see soc-lint --list-rules)");
+                        return ExitCode::from(2);
+                    };
+                    println!("{}", soc_lint::explain::render(e));
+                    return ExitCode::SUCCESS;
+                }
+                None => {
+                    eprintln!("soc-lint: --explain needs a rule name");
+                    return ExitCode::from(2);
+                }
+            },
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => {
@@ -30,9 +45,22 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--json" => match args.next() {
+                Some(p) => json_out = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("soc-lint: --json needs an output path");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: soc-lint [--root PATH] [--list-rules]");
+                println!(
+                    "usage: soc-lint [--root PATH] [--json PATH] [--list-rules] [--explain RULE]"
+                );
                 println!("Determinism-discipline lint for the soc-pidcan workspace.");
+                println!(
+                    "  --json PATH     also write machine-readable findings (hand-rolled JSON)"
+                );
+                println!("  --explain RULE  print a rule's rationale and a good/bad example pair");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -61,10 +89,29 @@ fn main() -> ExitCode {
             for f in &report.findings {
                 println!("{f}");
             }
+            // Per-rule summary: findings + suppression counts, so CI logs
+            // show where the pragma budget is spent at a glance.
+            let by_findings = report.findings_by_rule();
+            if !by_findings.is_empty() || !report.suppressed_by_rule.is_empty() {
+                println!("per-rule summary:");
+                for (rule, n) in &by_findings {
+                    println!("  {rule:<24} {n} finding(s)");
+                }
+                for (rule, n) in &report.suppressed_by_rule {
+                    println!("  {rule:<24} {n} suppressed");
+                }
+            }
+            if let Some(path) = &json_out {
+                if let Err(e) = std::fs::write(path, report.to_json()) {
+                    eprintln!("soc-lint: cannot write {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+                println!("soc-lint: wrote {}", path.display());
+            }
             if report.clean() {
                 println!(
-                    "soc-lint: clean ({} files, {} justified suppressions)",
-                    report.files_scanned, report.suppressed
+                    "soc-lint: clean ({} files, {} justified suppressions at {} pragma sites)",
+                    report.files_scanned, report.suppressed, report.pragma_sites
                 );
                 ExitCode::SUCCESS
             } else {

@@ -1,7 +1,10 @@
-//! The seven `soc-lint` rules. Each is a token-pattern pass over the
-//! lexed files (see [`crate::lexer`]); the workspace-level rules
-//! (`env-knob-registry` declarations, `fingerprint-coverage`,
-//! `ignored-test-wiring`) additionally correlate across files.
+//! The token-pattern half of the `soc-lint` rule set, plus the shared
+//! [`RULES`] registry covering both layers. Each rule here is a
+//! token-pattern pass over the lexed files (see [`crate::lexer`]); the
+//! workspace-level rules (`env-knob-registry` declarations,
+//! `fingerprint-coverage`, `ignored-test-wiring`) additionally correlate
+//! across files. The item-graph shard-safety rules live in
+//! [`crate::shard`].
 
 use crate::lexer::{SourceFile, Token, TokenKind};
 use crate::{FileInfo, Finding};
@@ -38,7 +41,33 @@ pub const RULES: &[(&str, &str)] = &[
         "ignored-test-wiring",
         "every #[ignore] test file is wired into the CI nightly cron",
     ),
+    (
+        "no-shared-mut-state",
+        "no static mut / thread_local! / sim-crate RefCell/Rc/Cell without a justified single-threaded invariant",
+    ),
+    (
+        "rng-stream-ownership",
+        "STREAM_OWNERS maps every RngStreams variant to its owning crate; drawing a stream elsewhere is a finding",
+    ),
+    (
+        "float-reduce-order",
+        "f64 sum/fold/+= reductions on sim paths only over sources the item graph proves deterministically ordered",
+    ),
+    (
+        "profiler-span-coverage",
+        "every Ev:: variant maps to a profiler Phase in the runner's dispatch_phase (ns-sum-vs-wall stays exhaustive)",
+    ),
 ];
+
+/// The `soc-lint` rules table for the README, regenerated (and
+/// byte-tested, like the env-knob table) from [`RULES`].
+pub fn markdown_rules_table() -> String {
+    let mut out = String::from("| rule | checks |\n|---|---|\n");
+    for (name, desc) in RULES {
+        out.push_str(&format!("| `{name}` | {} |\n", desc.replace('|', "\\|")));
+    }
+    out
+}
 
 /// Engine-level diagnostics (not suppressible, not valid in `allow(..)`).
 pub const META_RULES: &[&str] = &["malformed-pragma", "unused-pragma", "unknown-rule"];

@@ -1,0 +1,3 @@
+pub fn cache_mode() -> String {
+    std::env::var("SOC_CACHE").unwrap_or_default()
+}

@@ -1,0 +1,12 @@
+pub struct RunReport {
+    pub t_ratio: f64,
+    pub wall_ms: u64,
+}
+
+pub const FINGERPRINT_EXCLUDED: &[&str] = &[];
+
+impl RunReport {
+    pub fn fingerprint(&self) -> u64 {
+        self.t_ratio.to_bits()
+    }
+}

@@ -1,0 +1,13 @@
+pub struct RunReport {
+    pub t_ratio: f64,
+    pub wall_ms: u64,
+}
+
+/// Diagnostics only: excluded fields are declarations, not comments.
+pub const FINGERPRINT_EXCLUDED: &[&str] = &["wall_ms"];
+
+impl RunReport {
+    pub fn fingerprint(&self) -> u64 {
+        self.t_ratio.to_bits()
+    }
+}

@@ -1,0 +1,5 @@
+use std::collections::HashMap;
+
+pub fn total_load(load: &HashMap<u64, f64>) -> f64 {
+    load.values().sum()
+}

@@ -1,0 +1,5 @@
+pub fn total_load(load: &[f64]) -> f64 {
+    // Slice order is deterministic, so the non-associative f64 sum is
+    // reproducible bit-for-bit.
+    load.iter().sum()
+}

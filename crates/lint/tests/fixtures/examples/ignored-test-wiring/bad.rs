@@ -1,0 +1,5 @@
+#[test]
+#[ignore] // slow: full-scale sweep
+fn full_scale_t_ratio() {
+    run_full_scale();
+}

@@ -1,0 +1,6 @@
+// An #[ignore] suite is fine once this file's stem appears in the CI
+// nightly cron job, so it actually runs somewhere.
+#[test]
+fn smoke_t_ratio() {
+    run_smoke();
+}

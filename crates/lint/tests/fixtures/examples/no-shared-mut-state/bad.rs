@@ -1,0 +1,5 @@
+use std::cell::RefCell;
+
+thread_local! {
+    static SCRATCH: RefCell<Vec<u64>> = RefCell::new(Vec::new());
+}

@@ -1,0 +1,11 @@
+pub struct Scratch {
+    buf: Vec<u64>,
+}
+
+impl Scratch {
+    // Owned state, threaded explicitly: a shard boundary can partition
+    // it without hidden sharing.
+    pub fn push(&mut self, v: u64) {
+        self.buf.push(v);
+    }
+}

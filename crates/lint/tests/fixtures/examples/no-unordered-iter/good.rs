@@ -1,0 +1,9 @@
+use std::collections::BTreeMap;
+
+pub fn flush(pending: &mut BTreeMap<u64, u32>) -> u32 {
+    let mut total = 0;
+    for (_, v) in pending.iter() {
+        total += v;
+    }
+    total
+}

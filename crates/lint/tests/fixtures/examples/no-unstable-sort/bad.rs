@@ -1,0 +1,4 @@
+pub fn rank(mut scores: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    scores.sort_unstable_by_key(|s| s.1);
+    scores
+}

@@ -1,0 +1,5 @@
+pub fn rank(mut scores: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    // Stable: ties keep their deterministic input order.
+    scores.sort_by_key(|s| s.1);
+    scores
+}

@@ -1,0 +1,7 @@
+use std::time::Instant;
+
+pub fn handle(msg: Msg) -> u128 {
+    let t0 = Instant::now();
+    route(msg);
+    t0.elapsed().as_micros()
+}

@@ -1,0 +1,5 @@
+pub fn deadline(now_ms: u64, timeout_ms: u64) -> u64 {
+    // Simulation time is explicit state threaded through the event
+    // queue, never read from the host clock.
+    now_ms + timeout_ms
+}

@@ -1,0 +1,15 @@
+pub enum Ev {
+    Deliver,
+    Sample,
+}
+
+fn dispatch_phase(ev: &Ev) -> Phase {
+    match ev {
+        Ev::Deliver => Phase::Deliver,
+        Ev::Sample => Phase::Sample,
+    }
+}
+
+pub fn step(ev: &Ev) -> Phase {
+    dispatch_phase(ev)
+}

@@ -1,0 +1,3 @@
+pub fn jitter_rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed ^ 0x9e3779b9)
+}

@@ -1,0 +1,3 @@
+pub fn jitter_rng(seed: u64) -> SmallRng {
+    stream_rng(seed, RngStreams::Workload)
+}

@@ -1,0 +1,6 @@
+pub enum RngStreams {
+    Workload,
+    Fault,
+}
+
+pub const STREAM_OWNERS: &[(&str, &str)] = &[("Workload", "soc")];

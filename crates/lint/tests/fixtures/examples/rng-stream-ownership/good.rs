@@ -1,0 +1,7 @@
+pub enum RngStreams {
+    Workload,
+    Fault,
+}
+
+/// Every stream names the one crate allowed to draw it.
+pub const STREAM_OWNERS: &[(&str, &str)] = &[("Workload", "soc"), ("Fault", "soc")];

@@ -1,0 +1,10 @@
+//! Interior mutability is legal in the bench harness (not sim state) —
+//! only `static mut`/`thread_local!` stay banned here.
+
+pub struct Slot {
+    hits: Cell<u64>,
+}
+
+pub fn bump(s: &Slot) {
+    s.hits.set(s.hits.get() + 1);
+}

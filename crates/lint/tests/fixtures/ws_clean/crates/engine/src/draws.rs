@@ -1,0 +1,5 @@
+//! Drawing a stream from its declared owner crate lints clean.
+
+pub fn draw(seed: u64) -> SmallRng {
+    stream_rng(seed, RngStreams::Alpha)
+}

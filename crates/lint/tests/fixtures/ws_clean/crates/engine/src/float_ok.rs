@@ -1,0 +1,45 @@
+//! Reductions the item graph proves deterministically ordered: slices,
+//! Vec ascriptions, ranges, BTree collections, ordered struct fields.
+
+pub struct Acc {
+    xs: Vec<f64>,
+    scale: f64,
+}
+
+impl Acc {
+    pub fn direct(&self) -> f64 {
+        self.xs.iter().sum::<f64>() * self.scale
+    }
+
+    pub fn via_method(&self) -> f64 {
+        self.total()
+    }
+
+    fn total(&self) -> f64 {
+        self.xs.iter().sum()
+    }
+}
+
+pub fn slice_sum(load: &[f64]) -> f64 {
+    load.iter().sum()
+}
+
+pub fn range_fold(n: u64) -> f64 {
+    (0..n).map(|i| i as f64).fold(0.0, |a, b| a + b)
+}
+
+pub fn btree_sum(load: &BTreeMap<u64, f64>) -> f64 {
+    load.values().sum()
+}
+
+pub fn loop_accum(load: &[f64]) -> f64 {
+    let mut total: f64 = 0.0;
+    for v in load.iter() {
+        total += *v;
+    }
+    total
+}
+
+pub fn struct_sum(acc: &Acc) -> f64 {
+    acc.xs.iter().sum()
+}

@@ -1,0 +1,6 @@
+//! Test trees may draw test-only streams.
+
+#[test]
+fn probe_draws() {
+    let _ = stream_rng(1, RngStreams::Probe);
+}

@@ -1,0 +1,8 @@
+//! Exhaustive stream registry: every variant has exactly one owner.
+
+pub enum RngStreams {
+    Alpha,
+    Probe,
+}
+
+pub const STREAM_OWNERS: &[(&str, &str)] = &[("Alpha", "engine"), ("Probe", "test-only")];

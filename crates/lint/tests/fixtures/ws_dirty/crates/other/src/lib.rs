@@ -1,0 +1,10 @@
+//! Draws streams it does not own: `Alpha` belongs to `engine`, and
+//! `Probe` is declared test-only.
+
+pub fn poach(seed: u64) -> SmallRng {
+    stream_rng(seed, RngStreams::Alpha)
+}
+
+pub fn probe(seed: u64) -> SmallRng {
+    stream_rng(seed, RngStreams::Probe)
+}

@@ -1,0 +1,17 @@
+//! Stream registry with every declaration-side ownership violation: an
+//! unowned variant, a duplicate entry, an empty owner, a phantom name.
+
+pub enum RngStreams {
+    Alpha,
+    Beta,
+    Gamma,
+    Probe,
+}
+
+pub const STREAM_OWNERS: &[(&str, &str)] = &[
+    ("Alpha", "engine"),
+    ("Alpha", "engine"),
+    ("Beta", ""),
+    ("Zed", "engine"),
+    ("Probe", "test-only"),
+];

@@ -1,0 +1,17 @@
+//! Runner stand-in with profiler-coverage holes: `Flush` has no
+//! dispatch arm, `Sample`'s arm yields no Phase, and nothing calls
+//! `dispatch_phase` at all.
+
+pub enum Ev {
+    Deliver,
+    Sample,
+    Flush,
+}
+
+fn dispatch_phase(ev: &Ev) -> Phase {
+    match ev {
+        Ev::Deliver => Phase::Deliver,
+        Ev::Sample => noop(),
+        _ => other(),
+    }
+}

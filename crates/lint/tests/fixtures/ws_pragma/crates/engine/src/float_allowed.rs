@@ -1,0 +1,7 @@
+//! An order-sensitive reduction justified away: the total feeds
+//! diagnostics, never the fingerprint.
+
+pub fn diag_total(load: &HashMap<u64, f64>) -> f64 {
+    // soc-lint: allow(no-unordered-iter, float-reduce-order) -- diagnostics only: printed, never fingerprinted
+    load.values().sum()
+}

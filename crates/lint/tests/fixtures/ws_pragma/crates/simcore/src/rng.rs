@@ -1,0 +1,9 @@
+//! A variant awaiting ownership, suppressed with a reason.
+
+pub enum RngStreams {
+    Alpha,
+    // soc-lint: allow(rng-stream-ownership) -- fixture: owner lands with the shard-split PR
+    Orphan,
+}
+
+pub const STREAM_OWNERS: &[(&str, &str)] = &[("Alpha", "engine")];

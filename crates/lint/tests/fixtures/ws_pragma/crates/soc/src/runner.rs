@@ -1,0 +1,18 @@
+//! A dispatch arm suppressed pending its Phase.
+
+pub enum Ev {
+    Deliver,
+    // soc-lint: allow(profiler-span-coverage) -- fixture: span arrives with the variant's first real handler
+    Audit,
+}
+
+fn dispatch_phase(ev: &Ev) -> Phase {
+    match ev {
+        Ev::Deliver => Phase::Deliver,
+        _ => Phase::Deliver,
+    }
+}
+
+pub fn step(ev: &Ev) -> Phase {
+    dispatch_phase(ev)
+}

@@ -191,7 +191,9 @@ const N: usize = Phase::ALL.len();
 #[derive(Debug)]
 pub struct Profiler {
     enabled: bool,
+    // soc-lint: allow(no-shared-mut-state) -- observation-only counters; a Sim (and its Profiler) never crosses threads mid-run, and the totals are fingerprint-excluded
     ns: [Cell<u64>; N],
+    // soc-lint: allow(no-shared-mut-state) -- same single-threaded invariant as `ns` above
     count: [Cell<u64>; N],
 }
 
@@ -199,7 +201,9 @@ impl Profiler {
     fn with_enabled(enabled: bool) -> Self {
         Profiler {
             enabled,
+            // soc-lint: allow(no-shared-mut-state) -- constructing the single-threaded counters documented on the struct
             ns: std::array::from_fn(|_| Cell::new(0)),
+            // soc-lint: allow(no-shared-mut-state) -- constructing the single-threaded counters documented on the struct
             count: std::array::from_fn(|_| Cell::new(0)),
         }
     }

@@ -39,6 +39,26 @@ pub enum RngStreams {
     Test(u16),
 }
 
+/// Declared stream ownership: which crate is allowed to draw each
+/// stream (`soc-lint`'s `rng-stream-ownership` rule parses this table
+/// and flags draws from anywhere else, the way the knob registry pins
+/// `SOC_*` reads). One owner per stream keeps draw ordering a local
+/// property of that crate — the invariant the sharded executor will
+/// lean on when streams are split per shard. `"test-only"` marks
+/// streams that sim code must never draw.
+pub const STREAM_OWNERS: &[(&str, &str)] = &[
+    ("NodeCapacities", "soc"),
+    ("Workload", "soc"),
+    ("Overlay", "soc"),
+    ("Protocol", "soc"),
+    ("Network", "soc"),
+    ("Churn", "soc"),
+    ("Topology", "soc"),
+    ("Dispatch", "soc"),
+    ("Fault", "soc"),
+    ("Test", "test-only"),
+];
+
 impl RngStreams {
     fn id(self) -> u64 {
         match self {
