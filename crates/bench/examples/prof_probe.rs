@@ -1,0 +1,8 @@
+//! Profile probe: per-phase attribution of one smoke-scale HID run,
+//! honouring `SOC_SIM_QUEUE` / `SOC_SIM_EXEC` from the environment.
+fn main() {
+    match soc_bench::perf::profile_attribution(soc_bench::Scale::smoke(), 1) {
+        Some(t) => println!("{t}"),
+        None => eprintln!("no profile"),
+    }
+}

@@ -8,12 +8,11 @@
 //! repro table3            # Table III: HID-CAN scalability
 //! repro all               # everything above
 //! repro perf              # serial/parallel x heap/calendar x scan/indexed
-//!                         #   x route scan/cached timing grid; appends a
-//!                         #   record to bench_history/ (see --history,
-//!                         #   --rev) and prints the per-phase attribution
-//!                         #   table (SOC_PROFILE). Still writes the legacy
-//!                         #   BENCH_PR2.json (--out) — deprecated, dropped
-//!                         #   next release.
+//!                         #   x route scan/cached x exec serial/sharded
+//!                         #   timing grid; appends a record to
+//!                         #   bench_history/ (see --history, --rev) and
+//!                         #   prints the per-phase attribution table
+//!                         #   (SOC_PROFILE)
 //! repro perf --trend      # no timing: load bench_history/, print per-axis
 //!                         #   speedup trajectories across revisions, exit 1
 //!                         #   on an above-threshold wall-time regression
@@ -29,8 +28,7 @@
 //!
 //! Options: `--scale full|smoke|bench` (default smoke), `--seed N`
 //! (default 1; scenario files keep their own seed unless overridden),
-//! `--json PATH` (dump every report of the command as JSON),
-//! `--out PATH` (perf JSON, default `BENCH_PR2.json`), `--jitter J`
+//! `--json PATH` (dump every report of the command as JSON), `--jitter J`
 //! (diag comparison point, default 0.15). Full scale reproduces §IV-A
 //! exactly (2000–12000 nodes, 24 simulated hours) and takes minutes per
 //! figure; smoke preserves the shapes in seconds.
@@ -51,7 +49,6 @@ struct Args {
     scale_given: bool,
     seed: Option<u64>,
     lambda: f64,
-    out: String,
     json: Option<String>,
     record: Option<String>,
     jitter: f64,
@@ -71,7 +68,6 @@ fn parse_args() -> Args {
         scale_given: false,
         seed: None,
         lambda: 1.0,
-        out: "BENCH_PR2.json".to_string(),
         json: None,
         record: None,
         jitter: 0.15,
@@ -96,12 +92,6 @@ fn parse_args() -> Args {
                         std::process::exit(2);
                     }
                 };
-            }
-            "--out" => {
-                args.out = it.next().unwrap_or_else(|| {
-                    eprintln!("--out needs a path");
-                    std::process::exit(2);
-                });
             }
             "--json" => {
                 args.json = Some(it.next().unwrap_or_else(|| {
@@ -174,7 +164,7 @@ fn parse_args() -> Args {
         eprintln!(
             "usage: repro <fig4|fig5|fig8|table3|ckpt|perf|diag|all> \
              [--scale full|smoke|bench] [--seed N] [--lambda L] [--json PATH] \
-             [--out PATH] [--reps N] [--jitter J]\n\
+             [--reps N] [--jitter J]\n\
              \x20      repro perf [--trend] [--rev SHA] [--history DIR] [--import PATH]\n\
              \x20      repro scenario FILE [--seed N] [--record PATH] [--json PATH]\n\
              \x20      repro replay TRACE [--json PATH]"
@@ -345,7 +335,7 @@ fn run_perf(args: &Args, seed: u64) {
     }
 
     println!(
-        "== perf: sweep parallelism x event queue x record cache x route cache ({} scale) ==",
+        "== perf: sweep parallelism x event queue x record cache x route cache x exec driver ({} scale) ==",
         args.scale_label
     );
     let rep = perf::perf_compare(args.scale, args.scale_label, seed, args.reps);
@@ -354,16 +344,6 @@ fn run_perf(args: &Args, seed: u64) {
         eprintln!("FATAL: configurations disagreed — optimisation changed results");
         std::process::exit(1);
     }
-    // Legacy overwrite-in-place snapshot: kept for one release so external
-    // consumers can migrate; the history record below is the real artifact.
-    std::fs::write(&args.out, rep.to_json()).unwrap_or_else(|e| {
-        eprintln!("cannot write {}: {e}", args.out);
-        std::process::exit(1);
-    });
-    println!(
-        "wrote {} (deprecated: superseded by the {}/ store; this path is dropped next release)",
-        args.out, args.history
-    );
     let rev = detect_rev(args);
     let path = history::append(
         hist_dir,
@@ -571,7 +551,7 @@ fn main() {
     if let Some(path) = &args.json {
         if sections.is_empty() {
             eprintln!(
-                "--json: `{}` has no report output (perf uses --out)",
+                "--json: `{}` has no report output (perf appends to bench_history/)",
                 args.cmd
             );
             std::process::exit(2);

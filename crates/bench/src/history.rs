@@ -8,7 +8,7 @@
 //! env tricks, keeping `soc-lint` clean), and [`trend`] reads the whole
 //! series back to print per-axis speedup trajectories and flag any
 //! configuration whose load-normalized wall time regressed beyond a
-//! noise threshold against the best prior record (see
+//! noise threshold against the median prior record (see
 //! [`REGRESSION_THRESHOLD`] for why absolute wall times are not
 //! comparable across sessions).
 //!
@@ -27,7 +27,7 @@ pub const DEFAULT_DIR: &str = "bench_history";
 
 /// A configuration counts as regressed when its **load-normalized** wall
 /// time — wall over the same run's `serial+heap+scan` baseline
-/// for that sweep — exceeds the best (minimum) prior record's by this
+/// for that sweep — exceeds the **median** prior record's by this
 /// factor. Normalizing by a baseline measured in the same run cancels
 /// machine-state drift: a back-to-back A/B of two revisions measured
 /// identical cells swinging 25–30% across sessions on the shared dev
@@ -35,8 +35,10 @@ pub const DEFAULT_DIR: &str = "bench_history";
 /// absolute-wall gate. Within one run the ratios still jitter ~5–10%
 /// across sessions, so 1.3× keeps noise silent while a structural
 /// regression (losing an optimisation axis outright, superlinear blowup)
-/// still trips it. Records lacking the baseline config fall back to
-/// absolute wall-time comparison.
+/// still trips it. The reference is the median prior, not the minimum:
+/// one lucky draw must not ratchet the gate below what the code
+/// reproducibly delivers. Records lacking the baseline config fall back
+/// to absolute wall-time comparison.
 pub const REGRESSION_THRESHOLD: f64 = 1.30;
 
 /// One timed grid row, as read back from a history record.
@@ -52,6 +54,10 @@ pub struct HistRow {
     pub cache: String,
     /// Router backend.
     pub route: String,
+    /// Windowed-executor driver (`serial` / `sharded`). Records written
+    /// before the exec axis existed carry no `exec` field and parse as
+    /// `serial` — the only driver those revisions had.
+    pub exec: String,
     /// Best wall-clock milliseconds for this configuration.
     pub wall_ms: u64,
 }
@@ -60,8 +66,8 @@ impl HistRow {
     /// The configuration tuple (everything but the measurement).
     pub fn key(&self) -> String {
         format!(
-            "{}+{}+{}+{}+route-{}",
-            self.sweep, self.mode, self.queue, self.cache, self.route
+            "{}+{}+{}+{}+route-{}+exec-{}",
+            self.sweep, self.mode, self.queue, self.cache, self.route, self.exec
         )
     }
 }
@@ -217,6 +223,12 @@ fn parse_record(v: &Value, path: &Path) -> io::Result<HistRecord> {
                 queue: s("queue")?,
                 cache: s("cache")?,
                 route: s("route")?,
+                // Pre-exec-axis records default to the serial driver.
+                exec: r
+                    .get("exec")
+                    .and_then(Value::as_str)
+                    .unwrap_or("serial")
+                    .to_string(),
                 wall_ms: r
                     .get("wall_ms")
                     .and_then(Value::as_u64)
@@ -291,16 +303,18 @@ fn rebuild_index(dir: &Path) -> io::Result<()> {
 pub struct Regression {
     /// Configuration tuple that regressed.
     pub key: String,
-    /// Best prior metric value (baseline-relative ratio when
-    /// `normalized`, wall ms otherwise) and the rev that set it.
-    pub best_prior: f64,
-    /// Best-setting rev.
-    pub best_rev: String,
-    /// Latest metric value (same unit as `best_prior`).
+    /// Median prior metric value (baseline-relative ratio when
+    /// `normalized`, wall ms otherwise). The median — not the minimum —
+    /// so one lucky historical draw on a noisy box cannot permanently
+    /// ratchet the gate tighter than the configuration's true cost.
+    pub median_prior: f64,
+    /// Rev of the (lower-)middle prior record the median came from.
+    pub median_rev: String,
+    /// Latest metric value (same unit as `median_prior`).
     pub latest: f64,
     /// Latest wall time (ms), for context in either mode.
     pub latest_ms: u64,
-    /// `latest / best_prior`.
+    /// `latest / median_prior`.
     pub factor: f64,
     /// Whether the comparison was load-normalized by the in-run baseline.
     pub normalized: bool,
@@ -315,20 +329,24 @@ pub struct Trend {
     /// Records skipped because their scale/seed differs from the latest.
     pub skipped: usize,
     /// Configurations whose latest wall time exceeds
-    /// [`REGRESSION_THRESHOLD`] × best prior.
+    /// [`REGRESSION_THRESHOLD`] × median prior.
     pub regressions: Vec<Regression>,
 }
 
-/// Wall time of the reference configuration (`serial+heap+scan` — the
-/// grid's pre-optimisation corner; route unconstrained since the grid
-/// carries exactly one such row) for one sweep of one record — the
-/// in-run yardstick that normalization divides by. Minimum if a future
-/// grid ever carries several.
+/// Wall time of the reference configuration (`serial+heap+scan` on the
+/// serial executor — the grid's pre-optimisation corner; route
+/// unconstrained since the grid carries exactly one such row) for one
+/// sweep of one record — the in-run yardstick that normalization divides
+/// by. Minimum if a future grid ever carries several.
 fn baseline_ms(rec: &HistRecord, sweep: &str) -> Option<u64> {
     rec.rows
         .iter()
         .filter(|r| {
-            r.sweep == sweep && r.mode == "serial" && r.queue == "heap" && r.cache == "scan"
+            r.sweep == sweep
+                && r.mode == "serial"
+                && r.queue == "heap"
+                && r.cache == "scan"
+                && r.exec == "serial"
         })
         .map(|r| r.wall_ms.max(1))
         .min()
@@ -336,7 +354,11 @@ fn baseline_ms(rec: &HistRecord, sweep: &str) -> Option<u64> {
 
 /// Analyse the history: comparable records (latest record's scale+seed),
 /// per-axis speedup trajectories, and above-threshold regressions of the
-/// latest record vs the best prior measurement of the same configuration.
+/// latest record vs the median prior measurement of the same
+/// configuration. Median, not minimum: a best-ever comparison is a
+/// ratchet that tightens on every lucky draw, and on a shared/noisy box
+/// it eventually fails honest runs on whichever key drew unluckily this
+/// time.
 ///
 /// The regression metric is the configuration's wall time divided by the
 /// same record's `serial+heap+scan` baseline for that sweep
@@ -376,30 +398,32 @@ pub fn trend(records: &[HistRecord]) -> Option<Trend> {
                 ms as f64
             }
         };
-        // Best (minimum) prior measurement of this exact configuration.
-        let best = holders
+        // Median prior measurement of this exact configuration (even
+        // count: mean of the two middles, attributed to the lower one).
+        let mut priors: Vec<(f64, &str)> = holders
             .iter()
             .flat_map(|r| {
                 r.rows
                     .iter()
                     .filter(|p| p.key() == row.key())
-                    .map(move |p| (metric(r, p.wall_ms), r.rev.clone()))
+                    .map(move |p| (metric(r, p.wall_ms), r.rev.as_str()))
             })
-            .min_by(|a, b| a.0.total_cmp(&b.0));
-        if let Some((best_val, best_rev)) = best {
-            let latest_val = metric(last, row.wall_ms);
-            let factor = latest_val / best_val.max(f64::MIN_POSITIVE);
-            if factor > REGRESSION_THRESHOLD {
-                regressions.push(Regression {
-                    key: row.key(),
-                    best_prior: best_val,
-                    best_rev,
-                    latest: latest_val,
-                    latest_ms: row.wall_ms,
-                    factor,
-                    normalized,
-                });
-            }
+            .collect();
+        priors.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let (lo, hi) = (&priors[(priors.len() - 1) / 2], &priors[priors.len() / 2]);
+        let median_val = (lo.0 + hi.0) / 2.0;
+        let latest_val = metric(last, row.wall_ms);
+        let factor = latest_val / median_val.max(f64::MIN_POSITIVE);
+        if factor > REGRESSION_THRESHOLD {
+            regressions.push(Regression {
+                key: row.key(),
+                median_prior: median_val,
+                median_rev: lo.1.to_string(),
+                latest: latest_val,
+                latest_ms: row.wall_ms,
+                factor,
+                normalized,
+            });
         }
     }
     Some(Trend {
@@ -489,21 +513,21 @@ impl Trend {
         } else if self.regressions.is_empty() {
             let _ = writeln!(
                 out,
-                "# verdict: PASS — no config regressed beyond {REGRESSION_THRESHOLD}x its best prior baseline-relative wall time"
+                "# verdict: PASS — no config regressed beyond {REGRESSION_THRESHOLD}x its median prior baseline-relative wall time"
             );
         } else {
             for r in &self.regressions {
                 if r.normalized {
                     let _ = writeln!(
                         out,
-                        "# REGRESSION {}: {:.3}x of baseline vs best {:.3}x @{} ({:.2}x > {REGRESSION_THRESHOLD}x; {}ms)",
-                        r.key, r.latest, r.best_prior, r.best_rev, r.factor, r.latest_ms
+                        "# REGRESSION {}: {:.3}x of baseline vs median prior {:.3}x @{} ({:.2}x > {REGRESSION_THRESHOLD}x; {}ms)",
+                        r.key, r.latest, r.median_prior, r.median_rev, r.factor, r.latest_ms
                     );
                 } else {
                     let _ = writeln!(
                         out,
-                        "# REGRESSION {}: {}ms vs best {:.0}ms @{} ({:.2}x > {REGRESSION_THRESHOLD}x, absolute: no baseline config to normalize by)",
-                        r.key, r.latest_ms, r.best_prior, r.best_rev, r.factor
+                        "# REGRESSION {}: {}ms vs median prior {:.0}ms @{} ({:.2}x > {REGRESSION_THRESHOLD}x, absolute: no baseline config to normalize by)",
+                        r.key, r.latest_ms, r.median_prior, r.median_rev, r.factor
                     );
                 }
             }
@@ -588,6 +612,9 @@ mod tests {
         assert_eq!(recs[0].rev, "aaa111");
         assert_eq!(recs[1].seq, 2);
         assert_eq!(recs[1].rows[0].wall_ms, 90);
+        // Pre-exec-axis documents carry no "exec" field: backwards
+        // compatibility pins them to the serial driver.
+        assert_eq!(recs[1].rows[0].exec, "serial");
         assert_eq!(
             recs[0].speedups,
             vec![(
@@ -650,11 +677,11 @@ mod tests {
         )
         .unwrap();
         let t = trend(&load(&dir).unwrap()).unwrap();
-        assert!(t.regressed(), "1.5x vs best prior (100ms) must trip 1.3x");
+        assert!(t.regressed(), "150ms vs median prior 105ms must trip 1.3x");
         assert_eq!(t.regressions.len(), 1);
         let reg = &t.regressions[0];
-        assert_eq!(reg.best_prior, 100.0);
-        assert_eq!(reg.best_rev, "r1");
+        assert_eq!(reg.median_prior, 105.0, "median of 100 (r1) and 110 (r2)");
+        assert_eq!(reg.median_rev, "r1");
         assert!(reg.key.starts_with("table3+"));
         // The fake grid carries no serial+heap+scan baseline row, so the
         // comparison falls back to absolute wall times.
@@ -752,10 +779,44 @@ mod tests {
         let reg = &t.regressions[0];
         assert!(reg.normalized);
         assert!(reg.key.starts_with("table3+serial+calendar"));
-        assert!((reg.best_prior - 0.8).abs() < 1e-9);
+        assert!((reg.median_prior - 0.8).abs() < 1e-9);
         assert!((reg.latest - 1.2).abs() < 1e-9);
         assert_eq!(reg.latest_ms, 120);
         assert!(t.render().contains("of baseline"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trend_median_ignores_single_lucky_prior() {
+        let dir = tmpdir("median");
+        // Two honest priors at 100ms, one lucky 60ms draw. A best-ever
+        // gate would demand <= 78ms forever after; the median keeps the
+        // reference at the reproducible 100ms.
+        for (ms, rev) in [(100, "r1"), (60, "r2"), (100, "r3")] {
+            append(
+                &dir,
+                &fake_perf_json(ms, 200, 1.0),
+                rev,
+                "rustc",
+                "bench",
+                7,
+            )
+            .unwrap();
+        }
+        append(
+            &dir,
+            &fake_perf_json(115, 200, 1.0),
+            "r4",
+            "rustc",
+            "bench",
+            7,
+        )
+        .unwrap();
+        let t = trend(&load(&dir).unwrap()).unwrap();
+        assert!(
+            !t.regressed(),
+            "115ms vs median 100ms is within 1.3x even though 115/60 is not"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

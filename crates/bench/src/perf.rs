@@ -1,20 +1,21 @@
 //! `repro perf`: wall-clock A/B harness for the runner optimisations.
 //!
 //! Times the Table III and Fig. 4 sweeps across the {serial, parallel} ×
-//! {heap, calendar} × {scan, indexed} × {route scan, route cached} axes by
-//! flipping the `SOC_BENCH_THREADS`, `SOC_SIM_QUEUE`, `SOC_CACHE` and
-//! `SOC_ROUTE` environment variables (all re-read per sweep / per
-//! queue/cache/router construction precisely so one process can compare
-//! them), and cross-checks that all configurations produce **bitwise
-//! identical** reports — the optimisations must never change simulation
-//! results.
+//! {heap, calendar} × {scan, indexed} × {route scan, route cached} ×
+//! {exec serial, exec sharded} axes by flipping the `SOC_BENCH_THREADS`,
+//! `SOC_SIM_QUEUE`, `SOC_CACHE`, `SOC_ROUTE` and `SOC_SIM_EXEC`
+//! environment variables (all re-read per sweep / per queue/cache/router/
+//! driver construction precisely so one process can compare them), and
+//! cross-checks that all configurations produce **bitwise identical**
+//! reports — the optimisations must never change simulation results. The
+//! exec axis is the intra-run sharded driver: unlike the `mode` axis
+//! (which parallelises *across* sweep cells), `exec=sharded` parallelises
+//! *inside* a single run by executing shard event windows on worker
+//! threads.
 //!
 //! The result is appended to the `bench_history/` store (one record per
 //! run, stamped with git rev + rustc — see [`crate::history`]) through the
-//! shared `soc_sim::json` writer. The legacy overwrite-in-place
-//! `BENCH_PR2.json` path is still written for one release for external
-//! consumers; it is deprecated in favour of the history store and will be
-//! dropped next release.
+//! shared `soc_sim::json` writer.
 
 use crate::{fig4, sweep, table3, Scale};
 use std::fmt::Write as _;
@@ -33,6 +34,8 @@ pub struct PerfRow {
     pub cache: &'static str,
     /// `scan` or `cached` next-hop routing.
     pub route: &'static str,
+    /// `serial` or `sharded` windowed-executor driver.
+    pub exec: &'static str,
     /// Worker threads the sweep engine used.
     pub threads: usize,
     /// Wall-clock milliseconds.
@@ -90,6 +93,7 @@ struct Config {
     queue: &'static str,
     cache: &'static str,
     route: &'static str,
+    exec: &'static str,
 }
 
 /// Time one configuration once; returns the two rows plus the concatenated
@@ -99,6 +103,7 @@ fn run_config(scale: Scale, seed: u64, cfg: Config) -> (Vec<PerfRow>, String) {
     let _q = env_guard("SOC_SIM_QUEUE", Some(cfg.queue.to_string()));
     let _c = env_guard("SOC_CACHE", Some(cfg.cache.to_string()));
     let _r = env_guard("SOC_ROUTE", Some(cfg.route.to_string()));
+    let _e = env_guard("SOC_SIM_EXEC", Some(cfg.exec.to_string()));
     // Wall times must stay honest (and comparable with pre-profiler
     // history records): grid timing always runs with the profiler off,
     // whatever the ambient environment says. Attribution has its own
@@ -115,6 +120,7 @@ fn run_config(scale: Scale, seed: u64, cfg: Config) -> (Vec<PerfRow>, String) {
         queue: cfg.queue,
         cache: cfg.cache,
         route: cfg.route,
+        exec: cfg.exec,
         threads: cfg.threads,
         wall_ms: start.elapsed().as_millis(),
         cell_ms: t3.iter().map(|r| r.wall_ms).collect(),
@@ -131,6 +137,7 @@ fn run_config(scale: Scale, seed: u64, cfg: Config) -> (Vec<PerfRow>, String) {
         queue: cfg.queue,
         cache: cfg.cache,
         route: cfg.route,
+        exec: cfg.exec,
         threads: cfg.threads,
         wall_ms: start.elapsed().as_millis(),
         cell_ms: f4
@@ -154,17 +161,21 @@ fn run_config(scale: Scale, seed: u64, cfg: Config) -> (Vec<PerfRow>, String) {
 /// indexed cache and cached routing, plus scan-cache counterpoints on the
 /// two serial corners and a scan-route counterpoint on the fully
 /// optimised serial corner — enough to isolate each axis (queue, cache,
-/// route, threads) without paying for the full 2×2×2×2 cube on every CI
-/// run.
+/// route, threads) without paying for the full cube on every CI run.
+/// Every base configuration is then timed under **both** executor
+/// drivers (`exec=serial` and `exec=sharded`), doubling the grid to 14
+/// rows, so the intra-run sharding speedup is measured at every corner
+/// rather than only on the optimised one.
 pub fn perf_compare(scale: Scale, scale_label: &'static str, seed: u64, reps: usize) -> PerfReport {
     let parallel_threads = sweep::thread_count();
-    let grid: [Config; 7] = [
+    let base: [Config; 7] = [
         Config {
             mode: "serial",
             threads: 1,
             queue: "heap",
             cache: "scan",
             route: "cached",
+            exec: "serial",
         },
         Config {
             mode: "serial",
@@ -172,6 +183,7 @@ pub fn perf_compare(scale: Scale, scale_label: &'static str, seed: u64, reps: us
             queue: "heap",
             cache: "indexed",
             route: "cached",
+            exec: "serial",
         },
         Config {
             mode: "serial",
@@ -179,6 +191,7 @@ pub fn perf_compare(scale: Scale, scale_label: &'static str, seed: u64, reps: us
             queue: "calendar",
             cache: "scan",
             route: "cached",
+            exec: "serial",
         },
         Config {
             mode: "serial",
@@ -186,6 +199,7 @@ pub fn perf_compare(scale: Scale, scale_label: &'static str, seed: u64, reps: us
             queue: "calendar",
             cache: "indexed",
             route: "scan",
+            exec: "serial",
         },
         Config {
             mode: "serial",
@@ -193,6 +207,7 @@ pub fn perf_compare(scale: Scale, scale_label: &'static str, seed: u64, reps: us
             queue: "calendar",
             cache: "indexed",
             route: "cached",
+            exec: "serial",
         },
         Config {
             mode: "parallel",
@@ -200,6 +215,7 @@ pub fn perf_compare(scale: Scale, scale_label: &'static str, seed: u64, reps: us
             queue: "calendar",
             cache: "scan",
             route: "cached",
+            exec: "serial",
         },
         Config {
             mode: "parallel",
@@ -207,17 +223,26 @@ pub fn perf_compare(scale: Scale, scale_label: &'static str, seed: u64, reps: us
             queue: "calendar",
             cache: "indexed",
             route: "cached",
+            exec: "serial",
         },
     ];
+    let grid: Vec<Config> = base
+        .iter()
+        .flat_map(|c| {
+            ["serial", "sharded"]
+                .into_iter()
+                .map(|exec| Config { exec, ..*c })
+        })
+        .collect();
     let mut rows: Vec<PerfRow> = Vec::new();
     let mut fingerprints: Vec<String> = Vec::new();
     for rep in 0..reps.max(1) {
         // Interleaving the grid across reps (instead of repeating each
         // config back-to-back) spreads slow-machine phases fairly.
-        for cfg in grid {
+        for &cfg in &grid {
             eprintln!(
-                "perf: rep {rep}: timing {}+{}+{}+route-{} (threads={}) ...",
-                cfg.mode, cfg.queue, cfg.cache, cfg.route, cfg.threads
+                "perf: rep {rep}: timing {}+{}+{}+route-{}+exec-{} (threads={}) ...",
+                cfg.mode, cfg.queue, cfg.cache, cfg.route, cfg.exec, cfg.threads
             );
             let (timed, fp) = run_config(scale, seed, cfg);
             fingerprints.push(fp);
@@ -228,6 +253,7 @@ pub fn perf_compare(scale: Scale, scale_label: &'static str, seed: u64, reps: us
                         && r.queue == t.queue
                         && r.cache == t.cache
                         && r.route == t.route
+                        && r.exec == t.exec
                 }) {
                     Some(r) => {
                         if t.wall_ms < r.wall_ms {
@@ -276,7 +302,16 @@ pub fn profile_attribution(scale: Scale, seed: u64) -> Option<String> {
 }
 
 impl PerfReport {
-    fn wall(&self, sweep: &str, mode: &str, queue: &str, cache: &str, route: &str) -> Option<u128> {
+    #[allow(clippy::too_many_arguments)]
+    fn wall(
+        &self,
+        sweep: &str,
+        mode: &str,
+        queue: &str,
+        cache: &str,
+        route: &str,
+        exec: &str,
+    ) -> Option<u128> {
         self.rows
             .iter()
             .find(|r| {
@@ -285,43 +320,57 @@ impl PerfReport {
                     && r.queue == queue
                     && r.cache == cache
                     && r.route == route
+                    && r.exec == exec
             })
             .map(|r| r.wall_ms)
     }
 
     /// `baseline / optimised` for one sweep (≥ 1 means the fully optimised
     /// configuration — parallel, calendar queue, indexed caches, cached
-    /// routing — is faster than serial+heap+scan).
+    /// routing — is faster than serial+heap+scan). Both sides run the
+    /// serial executor so the axis stays comparable with history records
+    /// that predate `SOC_SIM_EXEC`.
     pub fn speedup(&self, sweep: &str) -> Option<f64> {
-        let base = self.wall(sweep, "serial", "heap", "scan", "cached")?;
-        let opt = self.wall(sweep, "parallel", "calendar", "indexed", "cached")?;
+        let base = self.wall(sweep, "serial", "heap", "scan", "cached", "serial")?;
+        let opt = self.wall(sweep, "parallel", "calendar", "indexed", "cached", "serial")?;
         Some(base as f64 / (opt.max(1)) as f64)
     }
 
     /// Cache-axis speedup in isolation (serial, calendar queue, cached
     /// routing): `scan / indexed`.
     pub fn cache_speedup(&self, sweep: &str) -> Option<f64> {
-        let scan = self.wall(sweep, "serial", "calendar", "scan", "cached")?;
-        let indexed = self.wall(sweep, "serial", "calendar", "indexed", "cached")?;
+        let scan = self.wall(sweep, "serial", "calendar", "scan", "cached", "serial")?;
+        let indexed = self.wall(sweep, "serial", "calendar", "indexed", "cached", "serial")?;
         Some(scan as f64 / (indexed.max(1)) as f64)
     }
 
     /// Route-axis speedup in isolation (serial, calendar queue, indexed
     /// caches): `route scan / route cached`.
     pub fn route_speedup(&self, sweep: &str) -> Option<f64> {
-        let scan = self.wall(sweep, "serial", "calendar", "indexed", "scan")?;
-        let cached = self.wall(sweep, "serial", "calendar", "indexed", "cached")?;
+        let scan = self.wall(sweep, "serial", "calendar", "indexed", "scan", "serial")?;
+        let cached = self.wall(sweep, "serial", "calendar", "indexed", "cached", "serial")?;
         Some(scan as f64 / (cached.max(1)) as f64)
+    }
+
+    /// Exec-axis speedup in isolation: the sharded driver vs the serial
+    /// driver on the otherwise fully optimised **serial-mode** corner
+    /// (1 sweep thread, calendar queue, indexed caches, cached routing).
+    /// Measured in serial mode so intra-run worker threads do not contend
+    /// with the sweep engine's own cell-level threads.
+    pub fn exec_speedup(&self, sweep: &str) -> Option<f64> {
+        let serial = self.wall(sweep, "serial", "calendar", "indexed", "cached", "serial")?;
+        let sharded = self.wall(sweep, "serial", "calendar", "indexed", "cached", "sharded")?;
+        Some(serial as f64 / (sharded.max(1)) as f64)
     }
 
     /// Human-readable comparison table.
     pub fn render(&self) -> String {
-        let mut out = String::from("sweep\tmode\tqueue\tcache\troute\tthreads\twall_ms\n");
+        let mut out = String::from("sweep\tmode\tqueue\tcache\troute\texec\tthreads\twall_ms\n");
         for r in &self.rows {
             let _ = writeln!(
                 out,
-                "{}\t{}\t{}\t{}\t{}\t{}\t{}",
-                r.sweep, r.mode, r.queue, r.cache, r.route, r.threads, r.wall_ms
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                r.sweep, r.mode, r.queue, r.cache, r.route, r.exec, r.threads, r.wall_ms
             );
         }
         for sweep in ["table3", "fig4"] {
@@ -341,6 +390,12 @@ impl PerfReport {
                 let _ = writeln!(
                     out,
                     "# {sweep}: cached routing alone is {s:.2}x vs scan (serial+calendar+indexed)"
+                );
+            }
+            if let Some(s) = self.exec_speedup(sweep) {
+                let _ = writeln!(
+                    out,
+                    "# {sweep}: sharded executor alone is {s:.2}x vs serial exec (serial+calendar+indexed+cached)"
                 );
             }
         }
@@ -363,6 +418,7 @@ impl PerfReport {
                 .str("queue", r.queue)
                 .str("cache", r.cache)
                 .str("route", r.route)
+                .str("exec", r.exec)
                 .u64("threads", r.threads as u64)
                 .u64("wall_ms", r.wall_ms as u64)
                 .raw("cell_ms", &array(r.cell_ms.iter().map(|c| c.to_string())))
@@ -402,6 +458,14 @@ impl PerfReport {
                 "speedup_fig4_cached_route_vs_scan",
                 &speedup(self.route_speedup("fig4")),
             )
+            .raw(
+                "speedup_table3_sharded_exec_vs_serial",
+                &speedup(self.exec_speedup("table3")),
+            )
+            .raw(
+                "speedup_fig4_sharded_exec_vs_serial",
+                &speedup(self.exec_speedup("fig4")),
+            )
             .raw("rows", &rows)
             .finish();
         out.push('\n');
@@ -427,6 +491,7 @@ mod tests {
                     queue: "heap",
                     cache: "scan",
                     route: "cached",
+                    exec: "serial",
                     threads: 1,
                     wall_ms: 100,
                     cell_ms: vec![20, 30, 50],
@@ -437,6 +502,7 @@ mod tests {
                     queue: "calendar",
                     cache: "scan",
                     route: "cached",
+                    exec: "serial",
                     threads: 1,
                     wall_ms: 80,
                     cell_ms: vec![15, 25, 40],
@@ -447,6 +513,7 @@ mod tests {
                     queue: "calendar",
                     cache: "indexed",
                     route: "scan",
+                    exec: "serial",
                     threads: 1,
                     wall_ms: 60,
                     cell_ms: vec![12, 18, 30],
@@ -457,9 +524,21 @@ mod tests {
                     queue: "calendar",
                     cache: "indexed",
                     route: "cached",
+                    exec: "serial",
                     threads: 1,
                     wall_ms: 40,
                     cell_ms: vec![8, 12, 20],
+                },
+                PerfRow {
+                    sweep: "table3",
+                    mode: "serial",
+                    queue: "calendar",
+                    cache: "indexed",
+                    route: "cached",
+                    exec: "sharded",
+                    threads: 1,
+                    wall_ms: 16,
+                    cell_ms: vec![4, 5, 7],
                 },
                 PerfRow {
                     sweep: "table3",
@@ -467,6 +546,7 @@ mod tests {
                     queue: "calendar",
                     cache: "indexed",
                     route: "cached",
+                    exec: "serial",
                     threads: 4,
                     wall_ms: 25,
                     cell_ms: vec![8, 12, 20],
@@ -477,19 +557,24 @@ mod tests {
         assert_eq!(rep.speedup("table3"), Some(4.0));
         assert_eq!(rep.cache_speedup("table3"), Some(2.0));
         assert_eq!(rep.route_speedup("table3"), Some(1.5));
+        assert_eq!(rep.exec_speedup("table3"), Some(2.5));
         let j = rep.to_json();
         assert!(j.contains("\"deterministic\":true"));
         assert!(j.contains("\"cache\":\"indexed\""));
         assert!(j.contains("\"route\":\"cached\""));
+        assert!(j.contains("\"exec\":\"sharded\""));
         assert!(j.contains("\"wall_ms\":25"));
         assert!(j.contains("\"cell_ms\":[20,30,50]"));
         assert!(j.contains("\"speedup_table3_indexed_cache_vs_scan\":2.000"));
         assert!(j.contains("\"speedup_table3_cached_route_vs_scan\":1.500"));
+        assert!(j.contains("\"speedup_table3_sharded_exec_vs_serial\":2.500"));
+        assert!(j.contains("\"speedup_fig4_sharded_exec_vs_serial\":null"));
         assert!(j.trim_end().ends_with('}'));
         let t = rep.render();
         assert!(t.contains("4.00x"));
         assert!(t.contains("2.00x"));
         assert!(t.contains("1.50x"));
+        assert!(t.contains("2.50x"));
     }
 
     #[test]

@@ -1,11 +1,13 @@
 //! The fault subsystem's two contracts, pinned:
 //!
 //! 1. **Zero-fault identity.** A run with no `[fault]` section — or an
-//!    explicit all-zero one — is bitwise identical to the pre-fault
-//!    baseline. The FNV fingerprints below were produced by the commit
-//!    *before* the fault model existed; these tests must match them
-//!    forever. Fault randomness lives on its own `RngStreams::Fault`
-//!    stream and the clean path draws none of it.
+//!    explicit all-zero one — is bitwise identical to the fault-free
+//!    baseline. The FNV fingerprints below pin the windowed executor's
+//!    schedule (re-recorded when the sharded engine replaced the flat
+//!    event loop, which re-rolled every fingerprint); these tests must
+//!    match them until the schedule changes deliberately. Fault
+//!    randomness lives on its own `RngStreams::Fault` stream and the
+//!    clean path draws none of it.
 //! 2. **Measured hostility.** Under 15% blackhole nodes the undefended
 //!    run degrades measurably, the blacklist/retry defence recovers a
 //!    quantified fraction of the loss, and it does so without
@@ -72,20 +74,20 @@ const PIN_CHURN: &str = "[scenario]\nname = pin-churn\nprotocol = hid\nnodes = 1
      duration_ms = 7200000\nlambda = 0.5\nseed = 12\nchurn = 0.5\nsample_ms = 600000\n\
      mean_arrival_s = 600\nmean_duration_s = 600\n";
 
-/// Pre-fault-subsystem fingerprints (recorded at the parent commit via
-/// `repro scenario`). Zero-fault runs must reproduce them bitwise.
+/// Fault-free fingerprints (recorded via `repro scenario`). Zero-fault
+/// runs must reproduce them bitwise.
 #[test]
 fn zero_fault_runs_match_pre_fault_pins() {
     let (quick, churn) = with_env("off", None, || (run_spec(PIN_QUICK), run_spec(PIN_CHURN)));
     assert_eq!(
         fnv(&quick),
-        0x8423_7ab4_6be7_e9db,
-        "static zero-fault run diverged from the pre-fault baseline"
+        0xb239_bcba_f76d_fa0f,
+        "static zero-fault run diverged from the pinned baseline"
     );
     assert_eq!(
         fnv(&churn),
-        0x654c_66b3_d54f_1bd7,
-        "churny zero-fault run diverged from the pre-fault baseline"
+        0x026b_e06b_8477_ce0b,
+        "churny zero-fault run diverged from the pinned baseline"
     );
     assert!(!quick.faults.any());
     assert!(!churn.faults.any());

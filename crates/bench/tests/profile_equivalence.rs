@@ -95,7 +95,7 @@ fn profile_summary_is_sane() {
             .run()
     });
     let p = report.profile.as_ref().expect("profiled run has a summary");
-    assert_eq!(p.phases.len(), 17, "all phases reported, fixed order");
+    assert_eq!(p.phases.len(), 18, "all phases reported, fixed order");
 
     // Dispatch arms are disjoint slices of the event loop: their sum
     // cannot exceed the run's wall clock (+1 ms for the truncation of
@@ -109,14 +109,13 @@ fn profile_summary_is_sane() {
     assert!(dispatch_ns > 0, "a 2-hour run must attribute some time");
 
     // Every dispatched event came out of exactly one queue pop, and a pop
-    // never returns more than one event. (Pop count can exceed dispatch
-    // count by the final deadline-miss pop that ends the loop.)
+    // never returns more than one event. Pops exceed dispatches because
+    // the windowed executor ends every shard window with one miss pop
+    // (the `pop_until(window_bound)` that returns `None`), so the surplus
+    // scales with window count rather than being a single final miss.
     let pops = p.count("queue_pop");
     let dispatched = p.dispatch_count();
-    assert!(
-        pops >= dispatched && pops <= dispatched + 1,
-        "pops {pops} vs dispatched {dispatched}"
-    );
+    assert!(pops >= dispatched, "pops {pops} < dispatched {dispatched}");
 
     // Nothing pops that was never pushed.
     assert!(

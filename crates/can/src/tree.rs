@@ -11,8 +11,8 @@
 
 use crate::zone::{Point, Zone};
 use soc_types::NodeId;
-use std::cell::Cell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 #[derive(Clone, Debug)]
 enum NodeKind {
@@ -35,7 +35,7 @@ struct TreeNode {
 /// * each live `NodeId` owns exactly one leaf;
 /// * every internal node's children merge back to its zone;
 /// * splits cycle through dimensions by depth (`split dim = depth % d`).
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct PartitionTree {
     nodes: Vec<TreeNode>,
     free: Vec<usize>,
@@ -48,8 +48,27 @@ pub struct PartitionTree {
     /// O(d) containment — usually skips the O(depth) descent. Invalidated
     /// on every structural change; leaves tile the space, so any *live*
     /// leaf whose zone contains the point is the unique correct answer.
-    // soc-lint: allow(no-shared-mut-state) -- a Sim (and its PartitionTree) never crosses threads mid-run; the cell is a pure lookup hint, re-derivable from the tree
-    last_hit: Cell<usize>,
+    ///
+    /// Atomic (Relaxed) rather than `Cell` so the sharded executor may
+    /// call `find_leaf` from several worker threads on a structurally
+    /// frozen tree: any stored index is a live leaf during a window, the
+    /// hint is validated before use, and a racy overwrite only costs one
+    /// extra descent — never a wrong answer.
+    last_hit: AtomicUsize,
+}
+
+impl Clone for PartitionTree {
+    fn clone(&self) -> Self {
+        PartitionTree {
+            nodes: self.nodes.clone(),
+            free: self.free.clone(),
+            root: self.root,
+            leaf_of: self.leaf_of.clone(),
+            dim: self.dim,
+            // Pure hint: the clone starts cold rather than copying it.
+            last_hit: AtomicUsize::new(NO_HIT),
+        }
+    }
 }
 
 /// Sentinel for an empty/invalidated `last_hit` cache.
@@ -72,8 +91,7 @@ impl PartitionTree {
             root: 0,
             leaf_of,
             dim,
-            // soc-lint: allow(no-shared-mut-state) -- see the field doc: single-threaded find_leaf hint
-            last_hit: Cell::new(NO_HIT),
+            last_hit: AtomicUsize::new(NO_HIT),
         }
     }
 
@@ -106,7 +124,7 @@ impl PartitionTree {
     pub fn find_leaf(&self, p: &Point) -> NodeId {
         // Last-hit fast path: valid between structural changes (the cache
         // is cleared on join/leave, so the slot is a live leaf).
-        let cached = self.last_hit.get();
+        let cached = self.last_hit.load(Ordering::Relaxed);
         if cached != NO_HIT {
             if let NodeKind::Leaf(owner) = self.nodes[cached].kind {
                 if self.nodes[cached].zone.contains(p) {
@@ -118,7 +136,7 @@ impl PartitionTree {
         loop {
             match self.nodes[i].kind {
                 NodeKind::Leaf(owner) => {
-                    self.last_hit.set(i);
+                    self.last_hit.store(i, Ordering::Relaxed);
                     return owner;
                 }
                 NodeKind::Internal { left, right } => {
@@ -206,7 +224,7 @@ impl PartitionTree {
         self.nodes[leaf_idx].kind = NodeKind::Internal { left, right };
         self.leaf_of.insert(left_owner, left);
         self.leaf_of.insert(right_owner, right);
-        self.last_hit.set(NO_HIT);
+        self.last_hit.store(NO_HIT, Ordering::Relaxed);
 
         (owner, new_zone, old_zone)
     }
@@ -275,7 +293,7 @@ impl PartitionTree {
     pub fn leave(&mut self, node: NodeId) -> Option<Vec<(NodeId, Zone)>> {
         // Collapse frees tree slots without rewriting them; a cached slot
         // could otherwise keep answering as a stale leaf.
-        self.last_hit.set(NO_HIT);
+        self.last_hit.store(NO_HIT, Ordering::Relaxed);
         let leaf_idx = *self.leaf_of.get(&node).expect("node not in overlay");
         self.leaf_of.remove(&node);
         let Some(sib) = self.sibling(leaf_idx) else {

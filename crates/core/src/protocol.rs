@@ -47,6 +47,11 @@ pub struct PidDiag {
 }
 
 /// PID-CAN (SID/HID ± SoS ± VD) as a pluggable discovery overlay.
+///
+/// `Clone` exists for the sharded executor's pristine per-shard forks
+/// ([`DiscoveryOverlay::fork_shard`]); it is only ever taken before
+/// `on_start`, while all per-node state is empty.
+#[derive(Clone)]
 pub struct PidCan {
     cfg: PidCanConfig,
     tables: IndexTables,
@@ -610,11 +615,35 @@ impl DiscoveryOverlay for PidCan {
         // Build initial finger tables (charged as maintenance) and arm
         // per-node timers.
         let nodes: Vec<NodeId> = ctx.can.live_nodes().collect();
-        for node in nodes {
+        self.on_start_nodes(ctx, &nodes);
+    }
+
+    fn on_start_nodes(&mut self, ctx: &mut Ctx<'_, PidMsg>, nodes: &[NodeId]) {
+        for &node in nodes {
             let stats = self.tables.refresh_node(node, ctx.can, ctx.rng);
             ctx.charge(node, MsgKind::Maintenance, stats.probe_msgs);
             self.arm_node_timers(ctx, node);
         }
+    }
+
+    fn shardable(&self) -> bool {
+        // Every handler at node `x` touches only `caches[x]`, `pilists[x]`
+        // and `x`'s finger-table row; query bookkeeping lives at the
+        // requester and `Found`/`Exhausted` are delivered there. That is
+        // exactly the partition-by-node property the executor needs.
+        true
+    }
+
+    fn fork_shard(&self) -> Option<Self> {
+        Some(self.clone())
+    }
+
+    fn absorb_diag(&mut self, other: &Self) {
+        self.diag.duty_no_agents += other.diag.duty_no_agents;
+        self.diag.agent_visits += other.diag.agent_visits;
+        self.diag.agent_pil_empty += other.diag.agent_pil_empty;
+        self.diag.jump_visits += other.diag.jump_visits;
+        self.diag.jump_hits += other.diag.jump_hits;
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, PidMsg>, node: NodeId, msg: PidMsg) {

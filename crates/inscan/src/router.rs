@@ -95,7 +95,10 @@ pub struct RouteCacheStats {
 ///
 /// Both entry points return bit-identically what their underlying scan
 /// (`inscan_next_hop` / `greedy_next_hop`) returns; the `Cached` backend
-/// only changes *when the work happens*.
+/// only changes *when the work happens*. `Clone` exists for the sharded
+/// executor's per-shard protocol forks; since cache contents never change
+/// what a lookup returns, cloned caches stay semantics-transparent.
+#[derive(Clone)]
 pub struct Router {
     backend: RouteBackend,
     cells: Vec<Option<Entry>>,

@@ -217,14 +217,55 @@ impl<'a, M> Ctx<'a, M> {
 /// All methods receive the per-event [`Ctx`]; handlers must be
 /// deterministic given `(state, event, rng stream)`.
 pub trait DiscoveryOverlay {
-    /// Protocol message payload.
-    type Msg: Clone + std::fmt::Debug;
+    /// Protocol message payload. `Send` so the sharded executor can move
+    /// buffered cross-shard messages between worker threads.
+    type Msg: Clone + std::fmt::Debug + Send;
 
     /// Human-readable protocol name (report labels).
     fn name(&self) -> &'static str;
 
     /// Called once at simulation start: arm initial timers.
     fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// Like [`DiscoveryOverlay::on_start`], restricted to `nodes` — the
+    /// sharded executor bootstraps each shard's instance over that shard's
+    /// nodes only, in global node order. The default ignores the filter
+    /// and calls `on_start`, which is correct for the single-shard case
+    /// (the only case a non-overriding protocol ever runs in, because
+    /// [`DiscoveryOverlay::shardable`] defaults to `false`).
+    fn on_start_nodes(&mut self, ctx: &mut Ctx<'_, Self::Msg>, nodes: &[NodeId]) {
+        let _ = nodes;
+        self.on_start(ctx);
+    }
+
+    /// May this protocol's state be partitioned by node across shards?
+    /// `true` requires every handler at node `x` to touch only `x`'s own
+    /// per-node rows (caches, timers, tables) and requester-owned query
+    /// state — the property the exec-equivalence suites pin. Default
+    /// `false` forces the windowed executor down to one shard.
+    fn shardable(&self) -> bool {
+        false
+    }
+
+    /// Clone a pristine per-shard instance (called once per shard before
+    /// `on_start_nodes`, while all per-node state is still empty). `None`
+    /// (the default) also forces a single shard.
+    fn fork_shard(&self) -> Option<Self>
+    where
+        Self: Sized,
+    {
+        None
+    }
+
+    /// Fold another instance's *diagnostic* counters into this one (the
+    /// sharded executor merges shard diagnostics before building the
+    /// report). State other than diagnostics must not be touched.
+    fn absorb_diag(&mut self, other: &Self)
+    where
+        Self: Sized,
+    {
+        let _ = other;
+    }
 
     /// A message arrived at `node`.
     fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg>, node: NodeId, msg: Self::Msg);

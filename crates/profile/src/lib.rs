@@ -103,11 +103,16 @@ pub enum Phase {
     /// Metrics/statistics flushes (`MsgStats::record_batch`,
     /// `TaskTracker::sample`).
     StatsFlush,
+    /// Sharded-executor synchronization: time a worker spends parked at
+    /// the window barrier waiting for the coordinator and sibling shards —
+    /// the profiler's direct measure of lost parallelism. Zero under the
+    /// inline serial driver.
+    BarrierWait,
 }
 
 impl Phase {
     /// Every phase, in report order (dispatch group first).
-    pub const ALL: [Phase; 17] = [
+    pub const ALL: [Phase; 18] = [
         Phase::DeliverMsg,
         Phase::ProtoTimer,
         Phase::Arrival,
@@ -125,6 +130,7 @@ impl Phase {
         Phase::Latency,
         Phase::Fault,
         Phase::StatsFlush,
+        Phase::BarrierWait,
     ];
 
     /// Stable snake-case label (report tables, JSON keys).
@@ -147,6 +153,7 @@ impl Phase {
             Phase::Latency => "latency",
             Phase::Fault => "fault",
             Phase::StatsFlush => "stats_flush",
+            Phase::BarrierWait => "barrier_wait",
         }
     }
 
@@ -259,6 +266,31 @@ impl Profiler {
         }
     }
 
+    /// Attribute externally-measured nanoseconds (and one invocation) to
+    /// `phase`. The sharded executor's workers accumulate barrier-wait
+    /// time in a plain local and fold it in here once per run.
+    pub fn add_ns(&self, phase: Phase, ns: u64, calls: u64) {
+        if self.enabled {
+            let i = phase.idx();
+            self.ns[i].set(self.ns[i].get().saturating_add(ns));
+            self.count[i].set(self.count[i].get() + calls);
+        }
+    }
+
+    /// Fold another profiler's counters in (sharded-executor end-of-run
+    /// merge: each shard profiles its own spans, the coordinator sums
+    /// them). No-op when `self` is disabled; run-wide enablement is a
+    /// single `SOC_PROFILE` read, so shards agree with the coordinator.
+    pub fn absorb(&mut self, other: &Profiler) {
+        if !self.enabled {
+            return;
+        }
+        for i in 0..N {
+            self.ns[i].set(self.ns[i].get().saturating_add(other.ns[i].get()));
+            self.count[i].set(self.count[i].get() + other.count[i].get());
+        }
+    }
+
     /// Snapshot the counters. `None` when the profiler is off — a run
     /// without `SOC_PROFILE=on` reports no profile block at all.
     pub fn summary(&self) -> Option<ProfileSummary> {
@@ -335,7 +367,7 @@ pub struct PhaseStat {
 /// fingerprinted.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ProfileSummary {
-    /// All 17 phases, dispatch group first.
+    /// All 18 phases, dispatch group first.
     pub phases: Vec<PhaseStat>,
 }
 
@@ -494,8 +526,28 @@ mod tests {
     }
 
     #[test]
+    fn absorb_and_add_ns_sum_counters() {
+        let mut agg = Profiler::with_enabled(true);
+        let shard = Profiler::with_enabled(true);
+        let t = shard.start();
+        shard.stop(Phase::DeliverMsg, t);
+        shard.add_ns(Phase::BarrierWait, 1234, 2);
+        agg.add_count(Phase::QueuePush, 5);
+        agg.absorb(&shard);
+        let s = agg.summary().unwrap();
+        assert_eq!(s.count("deliver"), 1);
+        assert_eq!(s.count("queue_push"), 5);
+        assert_eq!(s.count("barrier_wait"), 2);
+        assert!(s.ns("barrier_wait") >= 1234);
+        // A disabled aggregate ignores everything.
+        let mut off = Profiler::disabled();
+        off.absorb(&shard);
+        assert!(off.summary().is_none());
+    }
+
+    #[test]
     fn phase_taxonomy_is_consistent() {
-        assert_eq!(Phase::ALL.len(), 17);
+        assert_eq!(Phase::ALL.len(), 18);
         let dispatch = Phase::ALL
             .iter()
             .filter(|p| p.group() == PhaseGroup::Dispatch)

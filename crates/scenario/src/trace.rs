@@ -18,6 +18,8 @@ use rand::rngs::SmallRng;
 use soc_sim::{build_source, run_scenario_with, RunReport};
 use soc_types::{NodeId, ResVec, SimMillis};
 use soc_workload::{TaskSpec, WorkloadSource};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// One recorded workload decision, in simulation order.
 #[derive(Clone, Debug, PartialEq)]
@@ -59,12 +61,39 @@ pub struct Trace {
 }
 
 /// Wraps any source and logs its outputs.
-struct RecordingSource<'a> {
-    inner: &'a mut dyn WorkloadSource,
+///
+/// Trace canonical order: the master's own events (capacities and churn
+/// swaps, recorded at the coordinator) come first, then each shard fork's
+/// delay/task events in shard-id order. The windowed executor drives the
+/// same shard decomposition in both `serial` and `sharded` mode, so the
+/// canonical order is identical regardless of how the run executed.
+struct RecordingSource {
+    inner: Box<dyn WorkloadSource>,
     events: Vec<TraceEvent>,
+    /// One buffer per shard fork, retained in fork (= shard-id) order.
+    shard_bufs: Vec<Arc<Mutex<Vec<TraceEvent>>>>,
 }
 
-impl WorkloadSource for RecordingSource<'_> {
+impl RecordingSource {
+    fn new(inner: Box<dyn WorkloadSource>) -> Self {
+        RecordingSource {
+            inner,
+            events: Vec::new(),
+            shard_bufs: Vec::new(),
+        }
+    }
+
+    /// Drain everything recorded so far into the canonical event stream.
+    fn into_events(self) -> Vec<TraceEvent> {
+        let mut events = self.events;
+        for buf in self.shard_bufs {
+            events.append(&mut buf.lock().expect("recording buffer poisoned"));
+        }
+        events
+    }
+}
+
+impl WorkloadSource for RecordingSource {
     fn node_capacity(&mut self, rng: &mut SmallRng) -> ResVec {
         let cap = self.inner.node_capacity(rng);
         self.events.push(TraceEvent::Capacity {
@@ -97,112 +126,235 @@ impl WorkloadSource for RecordingSource<'_> {
             joined: joined.map(|n| n.0),
         });
     }
+
+    fn fork_shard(&mut self, shard: usize) -> Option<Box<dyn WorkloadSource>> {
+        let inner = self.inner.fork_shard(shard)?;
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        self.shard_bufs.push(Arc::clone(&buf));
+        Some(Box::new(RecordingFork { inner, buf }))
+    }
+}
+
+/// A per-shard recorder: logs the fork's delay/task stream into a buffer
+/// the master drains at the end of the run.
+struct RecordingFork {
+    inner: Box<dyn WorkloadSource>,
+    buf: Arc<Mutex<Vec<TraceEvent>>>,
+}
+
+impl WorkloadSource for RecordingFork {
+    fn node_capacity(&mut self, _rng: &mut SmallRng) -> ResVec {
+        // Capacity draws stay on the master at the coordinator; a call
+        // here would scramble the canonical event order.
+        unreachable!("node_capacity called on a shard fork");
+    }
+
+    fn next_delay(&mut self, node: NodeId, now: SimMillis, rng: &mut SmallRng) -> SimMillis {
+        let ms = self.inner.next_delay(node, now, rng);
+        self.buf
+            .lock()
+            .expect("recording buffer poisoned")
+            .push(TraceEvent::Delay { node: node.0, ms });
+        ms
+    }
+
+    fn next_task(&mut self, node: NodeId, now: SimMillis, rng: &mut SmallRng) -> TaskSpec {
+        let t = self.inner.next_task(node, now, rng);
+        self.buf
+            .lock()
+            .expect("recording buffer poisoned")
+            .push(TraceEvent::Task {
+                node: node.0,
+                duration_bits: t.duration_s.to_bits(),
+                dims: (0..t.expect.dim()).map(|d| t.expect[d].to_bits()).collect(),
+            });
+        t
+    }
+
+    fn note_churn(&mut self, now: SimMillis, left: Option<NodeId>, joined: Option<NodeId>) {
+        // Forward (stateful inners reset per-node state) but stay silent:
+        // the master already recorded the canonical Churn marker.
+        self.inner.note_churn(now, left, joined);
+    }
 }
 
 /// Replays a recorded event stream; panics with a position diagnostic on
 /// any desynchronization (which, given a matching scenario, indicates a
 /// corrupted trace).
-struct ReplaySource<'a> {
-    events: &'a [TraceEvent],
-    pos: usize,
+///
+/// The replayer is shard-agnostic by design: delay/task events are
+/// consumed through per-*node* cursors and capacity/churn events through
+/// the master's own cursor, so the same trace replays bit-exactly whether
+/// the executor runs its shard windows inline or on worker threads. A
+/// shared counter proves at the end that every recorded event was
+/// consumed exactly once.
+struct ReplaySource {
+    events: Arc<Vec<TraceEvent>>,
+    /// Indices of `Delay`/`Task` events, grouped per node, in trace order.
+    per_node: Arc<Vec<Vec<usize>>>,
+    /// Indices of `Capacity`/`Churn` events, in trace order.
+    master_seq: Arc<Vec<usize>>,
+    /// Per-node cursor into `per_node`; each node is served by exactly
+    /// one instance (its shard's fork, or the master when unsharded).
+    node_pos: Vec<usize>,
+    /// Cursor into `master_seq`; only the master advances it.
+    master_pos: usize,
+    /// Total events consumed across the master and every fork.
+    consumed: Arc<AtomicUsize>,
+    is_fork: bool,
 }
 
-impl<'a> ReplaySource<'a> {
-    fn next_event(&mut self, wanted: &str) -> &'a TraceEvent {
-        let Some(ev) = self.events.get(self.pos) else {
-            panic!("trace exhausted at event {} (wanted {wanted})", self.pos);
+impl ReplaySource {
+    fn new(events: &[TraceEvent]) -> Self {
+        let n_nodes = events
+            .iter()
+            .map(|ev| match ev {
+                TraceEvent::Delay { node, .. } | TraceEvent::Task { node, .. } => {
+                    *node as usize + 1
+                }
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0);
+        let mut per_node = vec![Vec::new(); n_nodes];
+        let mut master_seq = Vec::new();
+        for (i, ev) in events.iter().enumerate() {
+            match ev {
+                TraceEvent::Delay { node, .. } | TraceEvent::Task { node, .. } => {
+                    per_node[*node as usize].push(i)
+                }
+                TraceEvent::Capacity { .. } | TraceEvent::Churn { .. } => master_seq.push(i),
+            }
+        }
+        ReplaySource {
+            events: Arc::new(events.to_vec()),
+            per_node: Arc::new(per_node),
+            master_seq: Arc::new(master_seq),
+            node_pos: vec![0; n_nodes],
+            master_pos: 0,
+            consumed: Arc::new(AtomicUsize::new(0)),
+            is_fork: false,
+        }
+    }
+
+    fn consumed(&self) -> usize {
+        self.consumed.load(Ordering::Relaxed)
+    }
+
+    fn next_master(&mut self, wanted: &str) -> &TraceEvent {
+        let Some(&idx) = self.master_seq.get(self.master_pos) else {
+            panic!("trace exhausted: no more capacity/churn events (wanted {wanted})");
         };
-        self.pos += 1;
-        ev
+        self.master_pos += 1;
+        self.consumed.fetch_add(1, Ordering::Relaxed);
+        &self.events[idx]
     }
 
-    fn desync(&self, wanted: &str, got: &TraceEvent) -> ! {
-        panic!(
-            "trace desync at event {}: wanted {wanted}, recorded {got:?}",
-            self.pos - 1
-        );
+    fn next_for_node(&mut self, node: NodeId, wanted: &str) -> &TraceEvent {
+        let idx_list = self
+            .per_node
+            .get(node.idx())
+            .unwrap_or_else(|| panic!("trace has no events for node {} (wanted {wanted})", node.0));
+        let pos = self.node_pos[node.idx()];
+        let Some(&idx) = idx_list.get(pos) else {
+            panic!(
+                "trace exhausted for node {} after {pos} events (wanted {wanted})",
+                node.0
+            );
+        };
+        self.node_pos[node.idx()] = pos + 1;
+        self.consumed.fetch_add(1, Ordering::Relaxed);
+        &self.events[idx]
     }
 }
 
-impl WorkloadSource for ReplaySource<'_> {
+impl WorkloadSource for ReplaySource {
     fn node_capacity(&mut self, _rng: &mut SmallRng) -> ResVec {
-        match self.next_event("capacity") {
+        assert!(!self.is_fork, "node_capacity called on a shard fork");
+        match self.next_master("capacity") {
             TraceEvent::Capacity { bits } => {
                 let vals: Vec<f64> = bits.iter().map(|&b| f64::from_bits(b)).collect();
                 ResVec::from_slice(&vals)
             }
-            other => self.desync("capacity", other),
+            other => panic!("trace desync: wanted capacity, recorded {other:?}"),
         }
     }
 
     fn next_delay(&mut self, node: NodeId, _now: SimMillis, _rng: &mut SmallRng) -> SimMillis {
-        match self.next_event("delay") {
-            &TraceEvent::Delay { node: n, ms } => {
-                if n != node.0 {
-                    panic!(
-                        "trace desync at event {}: delay recorded for node {n}, requested for {}",
-                        self.pos - 1,
-                        node.0
-                    );
-                }
-                ms
-            }
-            other => self.desync("delay", other),
+        match self.next_for_node(node, "delay") {
+            &TraceEvent::Delay { ms, .. } => ms,
+            other => panic!(
+                "trace desync on node {}: wanted delay, recorded {other:?}",
+                node.0
+            ),
         }
     }
 
     fn next_task(&mut self, node: NodeId, _now: SimMillis, _rng: &mut SmallRng) -> TaskSpec {
-        match self.next_event("task") {
+        match self.next_for_node(node, "task") {
             TraceEvent::Task {
-                node: n,
                 duration_bits,
                 dims,
+                ..
             } => {
-                if *n != node.0 {
-                    panic!(
-                        "trace desync at event {}: task recorded for node {n}, requested for {}",
-                        self.pos - 1,
-                        node.0
-                    );
-                }
                 let vals: Vec<f64> = dims.iter().map(|&b| f64::from_bits(b)).collect();
                 TaskSpec {
                     expect: ResVec::from_slice(&vals),
                     duration_s: f64::from_bits(*duration_bits),
                 }
             }
-            other => self.desync("task", other),
+            other => panic!(
+                "trace desync on node {}: wanted task, recorded {other:?}",
+                node.0
+            ),
         }
     }
 
     fn note_churn(&mut self, _now: SimMillis, left: Option<NodeId>, joined: Option<NodeId>) {
-        match self.next_event("churn") {
+        if self.is_fork {
+            // The master verifies the canonical Churn marker; forks are
+            // only notified so stateful sources can reset per-node state
+            // (the replayer has none).
+            return;
+        }
+        match self.next_master("churn") {
             &TraceEvent::Churn {
                 left: l, joined: j, ..
             } => {
                 if l != left.map(|n| n.0) || j != joined.map(|n| n.0) {
                     panic!(
-                        "trace desync at event {}: churn ({l:?},{j:?}) recorded, ({left:?},{joined:?}) replayed",
-                        self.pos - 1
+                        "trace desync: churn ({l:?},{j:?}) recorded, ({left:?},{joined:?}) replayed",
                     );
                 }
             }
-            other => self.desync("churn", other),
+            other => panic!("trace desync: wanted churn, recorded {other:?}"),
         }
+    }
+
+    fn fork_shard(&mut self, _shard: usize) -> Option<Box<dyn WorkloadSource>> {
+        // Forks are created before any delay/task consumption, so a fresh
+        // cursor vector is exact; each node's cursor is advanced by only
+        // one instance because the executor routes each node's calls to a
+        // single shard.
+        Some(Box::new(ReplaySource {
+            events: Arc::clone(&self.events),
+            per_node: Arc::clone(&self.per_node),
+            master_seq: Arc::clone(&self.master_seq),
+            node_pos: vec![0; self.node_pos.len()],
+            master_pos: 0,
+            consumed: Arc::clone(&self.consumed),
+            is_fork: true,
+        }))
     }
 }
 
 /// Run `spec` once, recording its realized workload stream.
 pub fn record_run(spec: &ScenarioSpec) -> (RunReport, Trace) {
-    let mut inner = build_source(&spec.scenario);
-    let mut rec = RecordingSource {
-        inner: &mut inner,
-        events: Vec::new(),
-    };
+    let mut rec = RecordingSource::new(Box::new(build_source(&spec.scenario)));
     let report = run_scenario_with(&spec.scenario, &mut rec);
     let trace = Trace {
         spec: spec.clone(),
-        events: rec.events,
+        events: rec.into_events(),
         fingerprint: report.fingerprint(),
     };
     (report, trace)
@@ -213,10 +365,7 @@ pub fn record_run(spec: &ScenarioSpec) -> (RunReport, Trace) {
 /// mismatched trace surfaces as a descriptive `Err` (desyncs detected
 /// mid-run included — the panic is caught and converted).
 pub fn replay_run(trace: &Trace) -> Result<RunReport, String> {
-    let mut src = ReplaySource {
-        events: &trace.events,
-        pos: 0,
-    };
+    let mut src = ReplaySource::new(&trace.events);
     let report = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         run_scenario_with(&trace.spec.scenario, &mut src)
     }))
@@ -228,10 +377,10 @@ pub fn replay_run(trace: &Trace) -> Result<RunReport, String> {
             .unwrap_or("unknown panic");
         format!("replay aborted: {msg}")
     })?;
-    if src.pos != trace.events.len() {
+    if src.consumed() != trace.events.len() {
         return Err(format!(
             "replay consumed {} of {} recorded events — scenario/trace mismatch",
-            src.pos,
+            src.consumed(),
             trace.events.len()
         ));
     }

@@ -70,6 +70,24 @@ fn gallery_covers_every_generator_axis() {
         .any(|s| s.scenario.churn_degree > 0.0 && s.scenario.checkpointing));
 }
 
+/// The gallery must keep a large-n scaling point for the sharded
+/// executor: ≥10⁴ nodes across enough LANs that the windowed engine gets
+/// its full default shard count (8), so the exec-axis speedup is measured
+/// on a genuinely multi-shard topology.
+#[test]
+fn gallery_carries_a_large_n_scaling_point() {
+    let specs: Vec<ScenarioSpec> = gallery_files()
+        .iter()
+        .map(|p| ScenarioSpec::load(p).unwrap())
+        .collect();
+    assert!(
+        specs
+            .iter()
+            .any(|s| s.scenario.n_nodes >= 10_000 && s.scenario.n_nodes / s.scenario.lan_size >= 8),
+        "no gallery scenario with >=10^4 nodes across >=8 LANs"
+    );
+}
+
 #[test]
 fn hostile_sub_gallery_covers_every_fault_kind() {
     let specs: Vec<ScenarioSpec> = gallery_files()

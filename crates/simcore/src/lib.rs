@@ -27,4 +27,4 @@ pub mod queue;
 pub mod rng;
 
 pub use queue::{EventQueue, QueueBackend, Time};
-pub use rng::{stream_rng, RngStreams};
+pub use rng::{stream_rng, stream_rng_shard, RngStreams};

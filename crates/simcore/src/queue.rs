@@ -4,10 +4,11 @@
 //!
 //! * **Calendar** (default): a calendar/bucket queue — a power-of-two ring
 //!   of FIFO buckets keyed on millisecond timestamps, a hierarchical
-//!   occupancy bitmap for O(1) next-event search, and a `BTreeMap` overflow
-//!   for events beyond the ring horizon. Scheduling and popping are O(1)
-//!   amortized, vs the binary heap's O(log n) sift with scattered memory
-//!   traffic.
+//!   occupancy bitmap for O(1) next-event search, a flat `BTreeMap`
+//!   overflow for events beyond the ring horizon, and a memoized minimum
+//!   so the windowed executor's repeated per-window peeks cost a single
+//!   load. Scheduling and popping are O(1) amortized, vs the binary
+//!   heap's O(log n) sift with scattered memory traffic.
 //! * **Heap**: the original `BinaryHeap` future-event list, kept as the
 //!   reference implementation for the property tests and for runtime A/B
 //!   timing (`repro perf`).
@@ -18,6 +19,7 @@
 //! order: earliest timestamp first, FIFO among events scheduled for the
 //! same instant.
 
+use std::cell::Cell;
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
@@ -81,11 +83,17 @@ impl<E> Ord for Entry<E> {
 // Calendar backend.
 // ---------------------------------------------------------------------------
 
-/// Ring width in milliseconds. Control-plane latencies are 2–250 ms and
-/// task transfers a few seconds, so one window holds the vast majority of
-/// pending events; longer timers (protocol cycles, arrival gaps, task
-/// completions) wait in the overflow map and migrate window by window.
-const RING_MS: usize = 4096;
+/// Ring width in milliseconds. Control-plane latencies are 2–250 ms, so
+/// one window holds the overwhelming share of pending events; longer
+/// timers (protocol cycles, arrival gaps, task transfers/completions)
+/// wait in the overflow map and migrate window by window. Sized small on
+/// purpose: the windowed executor runs one calendar per shard, and a
+/// 512-slot ring keeps each shard's bucket headers (~16 KiB) resident in
+/// cache across windows — the original 4096-slot ring (~128 KiB per
+/// shard) thrashed L2 once the engine cycled through every shard per
+/// lookahead window, making schedules measurably slower than the heap's
+/// contiguous sift.
+const RING_MS: usize = 512;
 /// `RING_MS / 64` occupancy words (one summary `u64` bit per word).
 const RING_WORDS: usize = RING_MS / 64;
 // The single-u64 `summary` can only cover 64 occupancy words; retuning
@@ -111,9 +119,22 @@ struct Calendar<E> {
     base: Time,
     /// Events currently in the ring.
     ring_len: usize,
-    /// Far-future events, FIFO per timestamp.
-    overflow: BTreeMap<Time, VecDeque<(u64, E)>>,
-    overflow_len: usize,
+    /// Far-future events keyed `(time, seq)` — one map node per event.
+    /// Flat on purpose: timer timestamps are near-unique, so a
+    /// per-timestamp FIFO would allocate a one-element deque per insert;
+    /// the `seq` component of the key preserves same-instant FIFO for
+    /// free.
+    overflow: BTreeMap<(Time, u64), E>,
+    /// Memoized earliest pending timestamp. `Some(t)` is exact (never
+    /// stale); `None` means unknown — recompute on the next query. The
+    /// windowed executor peeks every shard queue once per lookahead
+    /// window and every `pop_until` peeks before popping, so without
+    /// this hint the bitmap/overflow search runs two to three times per
+    /// delivered event. `Cell` because [`EventQueue::peek_time`] takes
+    /// `&self`; the queue stays `Send` (all engine queues live behind
+    /// `Mutex`es), it merely stops being `Sync`.
+    // soc-lint: allow(no-shared-mut-state) -- cache of queue-local state; each queue is owned by one shard behind a Mutex, so the Cell is never shared across threads
+    min_hint: Cell<Option<Time>>,
 }
 
 impl<E> Calendar<E> {
@@ -125,12 +146,12 @@ impl<E> Calendar<E> {
             base: 0,
             ring_len: 0,
             overflow: BTreeMap::new(),
-            overflow_len: 0,
+            min_hint: Cell::new(None), // soc-lint: allow(no-shared-mut-state) -- same single-owner invariant as the field above
         }
     }
 
     fn len(&self) -> usize {
-        self.ring_len + self.overflow_len
+        self.ring_len + self.overflow.len()
     }
 
     #[inline]
@@ -189,17 +210,31 @@ impl<E> Calendar<E> {
     }
 
     /// Earliest pending timestamp, given the queue clock `now`.
+    ///
+    /// Served from `min_hint` when it is warm; otherwise one search runs
+    /// and the result is memoized. Pending events never predate `now`
+    /// (scheduling clamps, popping advances the clock monotonically), so
+    /// the minimum is a property of the queue contents alone and the
+    /// memoized value stays valid as the clock moves.
     fn min_time(&self, now: Time) -> Option<Time> {
-        if self.ring_len > 0 {
+        if self.len() == 0 {
+            return None;
+        }
+        if let Some(t) = self.min_hint.get() {
+            return Some(t);
+        }
+        let t = if self.ring_len > 0 {
             let start = self.base.max(now);
             let from = (start % RING_MS as u64) as usize;
             let (_, dist) = self
                 .next_occupied(from)
                 .expect("ring_len > 0 implies an occupied bucket");
-            Some(start + dist as Time)
+            start + dist as Time
         } else {
-            self.overflow.keys().next().copied()
-        }
+            self.overflow.keys().next().expect("non-empty overflow").0
+        };
+        self.min_hint.set(Some(t));
+        Some(t)
     }
 
     fn schedule(&mut self, time: Time, seq: u64, event: E, now: Time) {
@@ -208,6 +243,9 @@ impl<E> Calendar<E> {
             // events use the ring even after long `pop_until` jumps. (Not
             // at `time`: a later insert may still be earlier than it.)
             self.base = now;
+            self.min_hint.set(Some(time));
+        } else if let Some(h) = self.min_hint.get() {
+            self.min_hint.set(Some(h.min(time)));
         }
         if time >= self.base && time < self.base + RING_MS as u64 {
             let idx = (time % RING_MS as u64) as usize;
@@ -216,11 +254,7 @@ impl<E> Calendar<E> {
             self.ring_len += 1;
         } else {
             debug_assert!(time >= self.base + RING_MS as u64, "event before window");
-            self.overflow
-                .entry(time)
-                .or_default()
-                .push_back((seq, event));
-            self.overflow_len += 1;
+            self.overflow.insert((time, seq), event);
         }
     }
 
@@ -228,32 +262,31 @@ impl<E> Calendar<E> {
     /// every overflow event that now fits the ring.
     fn advance_window(&mut self) {
         debug_assert_eq!(self.ring_len, 0);
-        let Some((&first, _)) = self.overflow.iter().next() else {
+        let Some((&(first, _), _)) = self.overflow.iter().next() else {
             return;
         };
         self.base = first;
+        // The first migrated key becomes the ring minimum.
+        self.min_hint.set(Some(first));
         let horizon = first + RING_MS as u64;
-        while let Some((&t, _)) = self.overflow.iter().next() {
+        while let Some((&(t, _), _)) = self.overflow.iter().next() {
             if t >= horizon {
                 break;
             }
-            let (t, mut fifo) = self.overflow.pop_first().expect("peeked entry");
+            let ((t, seq), event) = self.overflow.pop_first().expect("peeked entry");
             let idx = (t % RING_MS as u64) as usize;
-            self.overflow_len -= fifo.len();
-            self.ring_len += fifo.len();
-            debug_assert!(self.buckets[idx].is_empty(), "bucket collision");
-            if self.buckets[idx].capacity() >= fifo.len() {
-                self.buckets[idx].append(&mut fifo);
-            } else {
-                self.buckets[idx] = fifo;
-            }
+            // Entries migrate in `(time, seq)` order, so per-bucket FIFO
+            // (= same-instant FIFO) is preserved by plain appends.
+            debug_assert!(self.buckets[idx].back().is_none_or(|&(s, _)| s < seq));
+            self.buckets[idx].push_back((seq, event));
+            self.ring_len += 1;
             self.mark(idx);
         }
     }
 
     fn pop(&mut self, now: Time) -> Option<(Time, u64, E)> {
         if self.ring_len == 0 {
-            if self.overflow_len == 0 {
+            if self.overflow.is_empty() {
                 return None;
             }
             self.advance_window();
@@ -264,7 +297,11 @@ impl<E> Calendar<E> {
         self.ring_len -= 1;
         if self.buckets[idx].is_empty() {
             self.unmark(idx);
+            // The popped instant is exhausted; the next minimum is
+            // unknown until someone asks.
+            self.min_hint.set(None);
         }
+        // Non-empty bucket: events at exactly `t` remain, hint stays warm.
         Some((t, seq, event))
     }
 
@@ -283,8 +320,8 @@ impl<E> Calendar<E> {
             self.ring_len = 0;
         }
         self.overflow.clear();
-        self.overflow_len = 0;
         self.base = now;
+        self.min_hint.set(None);
     }
 }
 

@@ -87,6 +87,23 @@ pub fn stream_rng(seed: u64, stream: RngStreams) -> SmallRng {
     SmallRng::seed_from_u64(mixed)
 }
 
+/// Derive the per-shard RNG for `stream` under master `seed`.
+///
+/// The sharded executor gives every shard its own instance of each
+/// node-facing stream so draw ordering stays a shard-local property.
+/// Every shard — including shard 0 — mixes a shard-dependent term, so no
+/// shard stream ever aliases the master [`stream_rng`] stream (the
+/// coordinator keeps drawing the master streams for churn/bootstrap).
+pub fn stream_rng_shard(seed: u64, stream: RngStreams, shard: usize) -> SmallRng {
+    let mixed = splitmix64(
+        splitmix64(seed)
+            ^ stream.id().wrapping_mul(0xA24B_AED4_963E_E407)
+            ^ splitmix64(0x9E37_79B9_7F4A_7C15 ^ shard as u64),
+    );
+    // soc-lint: allow(rng-stream-discipline) -- blessed shard-stream constructor, same funnel as stream_rng
+    SmallRng::seed_from_u64(mixed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,6 +141,32 @@ mod tests {
         let mut a = stream_rng(1, RngStreams::Test(0));
         let mut b = stream_rng(1, RngStreams::Test(1));
         assert_ne!(a.random::<u64>(), b.random::<u64>());
+    }
+
+    #[test]
+    fn shard_streams_are_distinct_from_master_and_each_other() {
+        // No shard stream (shard 0 included) may alias the master stream,
+        // and distinct shards must decorrelate.
+        let mut master = stream_rng(7, RngStreams::Fault);
+        let vm: Vec<u64> = (0..8).map(|_| master.random()).collect();
+        let mut prev: Vec<Vec<u64>> = vec![vm];
+        for shard in 0..4 {
+            let mut r = stream_rng_shard(7, RngStreams::Fault, shard);
+            let v: Vec<u64> = (0..8).map(|_| r.random()).collect();
+            for p in &prev {
+                assert_ne!(*p, v, "shard {shard} stream aliases another stream");
+            }
+            prev.push(v);
+        }
+    }
+
+    #[test]
+    fn shard_stream_is_deterministic() {
+        let mut a = stream_rng_shard(9, RngStreams::Workload, 3);
+        let mut b = stream_rng_shard(9, RngStreams::Workload, 3);
+        for _ in 0..32 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
     }
 
     #[test]

@@ -1,4 +1,39 @@
 //! The event loop: tasks, queries, dispatch, execution, churn, metrics.
+//!
+//! # The windowed executor
+//!
+//! The simulation state is partitioned into **shards** — unions of whole
+//! LANs — and driven by one engine in bounded lookahead windows:
+//!
+//! - Every shard owns its nodes' event queue, protocol instance rows,
+//!   executors, pending queries and RNG streams. A window `[w0, wb)` is
+//!   chosen so that `wb − w0` never exceeds the minimum cross-LAN latency
+//!   (the conservative lookahead `L`); each shard then pops its own events
+//!   up to `wb` with no knowledge of the others.
+//! - Events a shard generates for a foreign shard (message deliveries,
+//!   task dispatches, suspicion timers for foreign observers) are buffered
+//!   in a per-shard **outbox**. Since cross-shard always means cross-LAN,
+//!   every such event fires at least `L` after the instant that produced
+//!   it — i.e. at or after `wb` — so buffering until the window barrier
+//!   can never reorder it before an event the target shard already ran.
+//! - At the barrier the outboxes are merged in **canonical order** —
+//!   stable-sorted by `(timestamp, sender shard, emission sequence)` — and
+//!   appended to the target queues, whose FIFO tie-break preserves that
+//!   order. The merge is a pure function of the buffered events, so the
+//!   schedule is independent of how the windows were executed.
+//! - Global concerns (churn, metric sampling, capacity draws, the CAN
+//!   structure) live on a **coordinator** with its own event queue.
+//!   Coordinator events run between windows, at a barrier, with exclusive
+//!   access to every shard.
+//!
+//! `SOC_SIM_EXEC=serial` (default) runs the shard windows inline on one
+//! thread; `SOC_SIM_EXEC=sharded` runs them on worker threads. Both modes
+//! execute the *same* shard decomposition, window bounds and merge order,
+//! so their runs are bitwise identical — `RunReport::fingerprint` pins
+//! this. `SOC_SIM_SHARDS` overrides the shard count and is part of the
+//! simulated configuration (it changes fingerprints; the exec knob never
+//! does). Protocols opt in via [`DiscoveryOverlay::shardable`]; gossip
+//! baselines with cross-node handler state run single-shard.
 
 use crate::defense::{Blacklist, DefenseParams};
 use crate::report::{FaultSummary, RunReport};
@@ -9,27 +44,53 @@ use rand::RngExt;
 use soc_can::CanOverlay;
 use soc_gossip::{GossipConfig, Newscast};
 use soc_khdn::{KhdnCan, KhdnConfig};
-use soc_metrics::TaskTracker;
+use soc_metrics::{MetricPoint, TaskTracker};
 use soc_net::{FaultPlan, LanTopology, LatencyConfig, MsgKind, MsgStats};
 use soc_overlay::{
     Candidate, Ctx, DiscoveryOverlay, Effect, HostInfo, Phase, Profiler, QueryRequest, QueryVerdict,
 };
 use soc_psm::{NodeExec, PsmConfig, RunningTask};
-use soc_simcore::{stream_rng, EventQueue, RngStreams};
+use soc_simcore::{stream_rng, stream_rng_shard, EventQueue, RngStreams};
 use soc_types::{NodeId, QueryId, ResVec, SimMillis, TaskId, PERF_DIMS};
 use soc_workload::{cmax, SyntheticSource, WorkloadSource};
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex, RwLock};
 
-/// Host-side state visible to protocols.
+/// Execution driver for the windowed engine. Never part of the simulated
+/// configuration: both drivers run the identical schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ExecMode {
+    /// Shard windows run inline on the calling thread.
+    Serial,
+    /// Shard windows run on persistent worker threads.
+    Sharded,
+}
+
+fn exec_mode_from_env() -> ExecMode {
+    match soc_types::knobs::raw("SOC_SIM_EXEC").as_deref() {
+        Some("sharded") => ExecMode::Sharded,
+        _ => ExecMode::Serial,
+    }
+}
+
+/// Host-side state visible to protocols. Each shard holds a full-size
+/// copy: the `execs` rows are authoritative only for the shard's own
+/// nodes, while `alive` and the fault flags are replicated everywhere and
+/// re-synchronized by the coordinator on churn (the only writer).
 struct Hosts {
     execs: Vec<NodeExec>,
     alive: Vec<bool>,
     cmax: ResVec,
     /// Injected-fault state: which nodes are blackholes/liars, loss
     /// channels, drop counters. All-zero config = cooperative network.
+    /// Per-shard mirror of the coordinator's master plan; flags are
+    /// synced on churn, drop counters accumulate locally and are summed
+    /// into the report.
     fault: FaultPlan,
     /// Per-node suspicion blacklists (defence layer; empty when off).
+    /// Rows are authoritative for the shard's own observers (`by`).
     blacklist: Blacklist,
     /// `SOC_FAULT_DEFENSE=on` — read once at construction.
     defense_on: bool,
@@ -60,7 +121,9 @@ impl HostInfo for Hosts {
 
 /// A task en route to its execution node, with fallback candidates in
 /// best-fit order (Inequality (2) is re-checked on arrival; a node that no
-/// longer qualifies rejects, and the requester tries the next candidate).
+/// longer qualifies rejects, and the task bounces back through the
+/// requester to the next candidate). Carries its own expectation so the
+/// executing shard can settle the efficiency without global tables.
 #[derive(Clone, Debug)]
 struct DispatchSpec {
     tid: TaskId,
@@ -69,9 +132,14 @@ struct DispatchSpec {
     submitted_at: SimMillis,
     requester: NodeId,
     fallbacks: Vec<NodeId>,
+    /// Expected execution time per Equation (4) (work over the system-wide
+    /// average capacity), fixed at submission.
+    expect_s: f64,
+    /// Locally scheduled (never exercised discovery)?
+    is_local: bool,
 }
 
-/// A discovery in progress.
+/// A discovery in progress (owned by the requester's shard).
 struct PendingQuery {
     requester: NodeId,
     demand: ResVec,
@@ -83,6 +151,8 @@ struct PendingQuery {
     attempts: u32,
 }
 
+/// Shard-level events. Every variant is anchored to one node, and the
+/// event is always processed by that node's shard.
 enum Ev<M> {
     Deliver {
         /// Sender — the suspicion source when the delivery is suppressed
@@ -114,35 +184,105 @@ enum Ev<M> {
     },
     /// Forward-timeout suspicion: `by` sent a message to `of` that a fault
     /// swallowed; after the suspicion delay, `by` registers a strike.
+    /// Processed by `by`'s shard (the observer owns the suspicion).
     Suspect {
         by: NodeId,
         of: NodeId,
     },
+}
+
+/// Coordinator events: whole-system concerns that need exclusive access to
+/// every shard. Processed between windows.
+enum CoEv {
     ChurnSwap,
     Sample,
 }
 
-struct Sim<'s, P: DiscoveryOverlay> {
-    sc: &'s Scenario,
-    /// All workload randomness flows through this boundary; see
-    /// [`soc_workload::WorkloadSource`] for the replay contract.
-    source: &'s mut dyn WorkloadSource,
-    proto: P,
+/// Immutable-during-window world state shared by every shard, plus the CAN
+/// overlay which only the coordinator mutates (behind the engine's
+/// `RwLock`, write-locked exclusively between windows).
+struct World {
     can: CanOverlay,
-    hosts: Hosts,
     topo: LanTopology,
-    stats: MsgStats,
-    tracker: TaskTracker,
+    /// Node → shard (whole-LAN groupings, fixed for the run).
+    shard_of: Vec<usize>,
+    /// Conservative lookahead: the minimum cross-LAN latency. Every
+    /// cross-shard event fires at least this far after its cause.
+    lookahead: SimMillis,
+}
+
+/// Merge per-shard outboxes into the canonical cross-shard delivery order:
+/// ascending timestamp, ties broken by (sender shard, emission sequence) —
+/// exactly the order a stable sort leaves after concatenating the outboxes
+/// in shard order. Pure, so the schedule is a function of the buffered
+/// events alone, not of which thread ran which window.
+fn canonical_merge<T>(per_shard: Vec<Vec<(SimMillis, usize, T)>>) -> Vec<(SimMillis, usize, T)> {
+    let mut all: Vec<(SimMillis, usize, T)> = per_shard.into_iter().flatten().collect();
+    all.sort_by_key(|&(t, _, _)| t);
+    all
+}
+
+/// Extra node-id headroom so churn joins get fresh ids before old ones are
+/// recycled (a vacated id re-enters the pool only after the queue drains).
+fn id_headroom(n: usize) -> usize {
+    (n / 4).max(16)
+}
+
+/// Expected execution time per Equation (4)'s description: the work
+/// amount over the system-wide average capacity.
+fn expected_time(demand: &ResVec, duration_s: f64, avg_cap: &ResVec) -> f64 {
+    let mut t: f64 = 0.0;
+    for d in 0..PERF_DIMS {
+        let w = demand[d] * duration_s;
+        if avg_cap[d] > 0.0 {
+            t = t.max(w / avg_cap[d]);
+        }
+    }
+    t.max(1e-6)
+}
+
+/// Task ids are packed `(shard << 48) | counter` so every shard allocates
+/// from a disjoint namespace without coordination. Query ids use the same
+/// packing.
+const ID_SHARD_SHIFT: u32 = 48;
+
+/// Cross-shard events buffered within one window: `(fire time, target
+/// shard, event)`, in emission order.
+type Outbox<M> = Vec<(SimMillis, usize, Ev<M>)>;
+
+/// One shard: the nodes of a fixed group of LANs, their event queue, their
+/// slice of every per-node table, and private RNG streams.
+struct Shard<P: DiscoveryOverlay> {
+    id: usize,
+    sc: Scenario,
+    /// Per-shard workload fork serving this shard's `next_delay` /
+    /// `next_task` draws. `None` only in the single-shard fallback for
+    /// sources that cannot fork — the driver then lends the master source.
+    source: Option<Box<dyn WorkloadSource>>,
+    /// Current simulation time: the timestamp of the event being handled
+    /// (or the coordinator's barrier instant during coordinator-driven
+    /// calls). All shard logic reads this, never the queue clock, which
+    /// lags at window boundaries.
+    now: SimMillis,
+    proto: P,
+    hosts: Hosts,
     queue: EventQueue<Ev<P::Msg>>,
+    /// Cross-shard events produced this window, in emission order.
+    /// Drained at the barrier.
+    outbox: Outbox<P::Msg>,
     /// BTreeMap (not HashMap): the churn-kill sweep iterates this map, and
     /// ordered iteration keeps that sweep deterministic by construction.
+    /// Requester-partitioned: a query lives on its requester's shard.
     pending: BTreeMap<QueryId, PendingQuery>,
     /// Recycled effect buffers: one `Ctx` is built per delivered event, so
     /// handing the drained Vec back avoids an allocation per event.
     fx_buf: Vec<Effect<P::Msg>>,
     fx_next: Vec<Effect<P::Msg>>,
-    expected_s: Vec<f64>,
-    is_local: Vec<bool>,
+    /// Expectation + locality of every task currently *resident* on this
+    /// shard's executors, keyed by task id (inserted on admit, removed on
+    /// finish or churn-drain). Replaces the serial engine's global
+    /// append-only vectors.
+    task_info: BTreeMap<TaskId, (f64, bool)>,
     /// Per-node completion-event memo: the `(fire time, epoch tag)` of the
     /// single scheduled `Ev::Completion` this node considers live. A popped
     /// completion that does not match is stale (its prediction was
@@ -153,7 +293,6 @@ struct Sim<'s, P: DiscoveryOverlay> {
     comp_scheduled: u64,
     comp_dedup_skips: u64,
     comp_dead_pops: u64,
-    checkpoint_resubmits: u64,
     /// Defence tunables (fixed; the knob only switches the layer on/off).
     defense: DefenseParams,
     retries: u64,
@@ -163,21 +302,16 @@ struct Sim<'s, P: DiscoveryOverlay> {
     oracle_matchable: u64,
     oracle_match_sum: u64,
     oracle_record_matchable: u64,
+    tracker: TaskTracker,
+    stats: MsgStats,
     avg_cap: ResVec,
     next_task: u64,
     next_query: u64,
-    free_ids: VecDeque<NodeId>,
-    live: Vec<NodeId>,
-    live_pos: Vec<usize>,
-    /// Consumed only through `source.node_capacity`.
-    rng_caps: SmallRng,
     /// Consumed only through `source.next_delay`/`next_task`.
     rng_work: SmallRng,
     rng_proto: SmallRng,
     rng_net: SmallRng,
-    rng_churn: SmallRng,
     rng_dispatch: SmallRng,
-    rng_overlay: SmallRng,
     /// Fault-injection stream: consumed only when the fault model is
     /// enabled, so clean runs never touch it.
     rng_fault: SmallRng,
@@ -189,146 +323,49 @@ struct Sim<'s, P: DiscoveryOverlay> {
     prof: Profiler,
 }
 
-/// Extra node-id headroom so churn joins get fresh ids before old ones are
-/// recycled (a vacated id re-enters the pool only after the queue drains).
-fn id_headroom(n: usize) -> usize {
-    (n / 4).max(16)
-}
-
-impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
-    fn new(sc: &'s Scenario, source: &'s mut dyn WorkloadSource, proto: P, can_dim: usize) -> Self {
-        let max_nodes = sc.n_nodes + id_headroom(sc.n_nodes);
-        let mut rng_caps = stream_rng(sc.seed, RngStreams::NodeCapacities);
-        let mut rng_topo = stream_rng(sc.seed, RngStreams::Topology);
-        let mut rng_overlay = stream_rng(sc.seed, RngStreams::Overlay);
-        let rng_net = stream_rng(sc.seed, RngStreams::Network);
-        let mut rng_fault = stream_rng(sc.seed, RngStreams::Fault);
-        let fault = FaultPlan::new(sc.fault, max_nodes, &mut rng_fault);
-        let defense_on = matches!(
-            soc_types::knobs::raw("SOC_FAULT_DEFENSE").as_deref(),
-            Some("on")
-        );
-
-        let caps: Vec<ResVec> = (0..max_nodes)
-            .map(|_| source.node_capacity(&mut rng_caps))
-            .collect();
-        let avg_cap = {
-            let mut acc = ResVec::zeros(caps[0].dim());
-            for c in &caps[..sc.n_nodes] {
-                acc += *c;
-            }
-            acc / sc.n_nodes as f64
-        };
-
-        let psm_cfg = PsmConfig::default();
-        let execs: Vec<NodeExec> = caps.iter().map(|c| NodeExec::new(*c, psm_cfg)).collect();
-        let mut alive = vec![false; max_nodes];
-        for a in alive.iter_mut().take(sc.n_nodes) {
-            *a = true;
-        }
-        let can = CanOverlay::bootstrap(can_dim, sc.n_nodes, max_nodes, &mut rng_overlay);
-        let topo = LanTopology::new(
-            max_nodes,
-            sc.lan_size,
-            LatencyConfig::default(),
-            &mut rng_topo,
-        );
-
-        let live: Vec<NodeId> = (0..sc.n_nodes).map(|i| NodeId(i as u32)).collect();
-        let mut live_pos = vec![usize::MAX; max_nodes];
-        for (i, n) in live.iter().enumerate() {
-            live_pos[n.idx()] = i;
-        }
-        let free_ids: VecDeque<NodeId> =
-            (sc.n_nodes..max_nodes).map(|i| NodeId(i as u32)).collect();
-
-        Sim {
-            sc,
-            source,
-            proto,
-            can,
-            hosts: Hosts {
-                execs,
-                alive,
-                cmax: cmax(),
-                fault,
-                blacklist: Blacklist::new(max_nodes),
-                defense_on,
-            },
-            topo,
-            stats: MsgStats::new(max_nodes),
-            tracker: TaskTracker::new(),
-            queue: EventQueue::with_capacity(1 << 16),
-            pending: BTreeMap::new(),
-            fx_buf: Vec::new(),
-            fx_next: Vec::new(),
-            expected_s: Vec::new(),
-            is_local: Vec::new(),
-            comp_sched: vec![None; max_nodes],
-            comp_scheduled: 0,
-            comp_dedup_skips: 0,
-            comp_dead_pops: 0,
-            checkpoint_resubmits: 0,
-            defense: DefenseParams::default(),
-            retries: 0,
-            suspicions: 0,
-            suspected_evil: 0,
-            suspected_honest: 0,
-            oracle_matchable: 0,
-            oracle_match_sum: 0,
-            oracle_record_matchable: 0,
-            avg_cap,
-            next_task: 0,
-            next_query: 0,
-            free_ids,
-            live,
-            live_pos,
-            rng_caps,
-            rng_work: stream_rng(sc.seed, RngStreams::Workload),
-            rng_proto: stream_rng(sc.seed, RngStreams::Protocol),
-            rng_net,
-            rng_churn: stream_rng(sc.seed, RngStreams::Churn),
-            rng_dispatch: stream_rng(sc.seed, RngStreams::Dispatch),
-            rng_overlay,
-            rng_fault,
-            prof: Profiler::from_env(),
-        }
+impl<P: DiscoveryOverlay> Shard<P> {
+    fn alloc_tid(&mut self) -> TaskId {
+        debug_assert!(self.next_task < 1 << ID_SHARD_SHIFT);
+        let t = TaskId(((self.id as u64) << ID_SHARD_SHIFT) | self.next_task);
+        self.next_task += 1;
+        t
     }
 
-    fn live_add(&mut self, node: NodeId) {
-        self.live_pos[node.idx()] = self.live.len();
-        self.live.push(node);
+    fn alloc_qid(&mut self) -> QueryId {
+        debug_assert!(self.next_query < 1 << ID_SHARD_SHIFT);
+        let q = QueryId(((self.id as u64) << ID_SHARD_SHIFT) | self.next_query);
+        self.next_query += 1;
+        q
     }
 
-    fn live_remove(&mut self, node: NodeId) {
-        let pos = self.live_pos[node.idx()];
-        debug_assert_ne!(pos, usize::MAX);
-        let last = *self.live.last().expect("non-empty live set");
-        self.live.swap_remove(pos);
-        if last != node {
-            self.live_pos[last.idx()] = pos;
+    /// Schedule `ev` at `at` on `target`'s shard: directly into our own
+    /// queue, or into the outbox for the window barrier to merge.
+    fn route(&mut self, at: SimMillis, target: NodeId, ev: Ev<P::Msg>, world: &World) {
+        let tgt = world.shard_of[target.idx()];
+        if tgt == self.id {
+            self.queue.schedule_at(at, ev);
+        } else {
+            debug_assert!(
+                at >= self.now + world.lookahead,
+                "cross-shard event inside the lookahead window"
+            );
+            self.outbox.push((at, tgt, ev));
         }
-        self.live_pos[node.idx()] = usize::MAX;
-    }
-
-    fn random_live(&mut self) -> NodeId {
-        self.live[self.rng_churn.random_range(0..self.live.len())]
     }
 
     /// Fault verdict for one in-flight control message. Returns true when
     /// a partition window or a loss channel swallows it. Draws from
     /// `rng_fault` only when the fault model is enabled — clean runs take
     /// the constant-false branch and consume no randomness.
-    fn fault_drops_send(&mut self, from: NodeId, to: NodeId) -> bool {
+    fn fault_drops_send(&mut self, from: NodeId, to: NodeId, world: &World) -> bool {
         if !self.hosts.fault.config().enabled() {
             return false;
         }
-        let now = self.queue.now();
-        let (la, lb) = (self.topo.lan_of(from), self.topo.lan_of(to));
+        let (la, lb) = (world.topo.lan_of(from), world.topo.lan_of(to));
         if self
             .hosts
             .fault
-            .partitioned(now, la, lb, self.topo.n_lans())
+            .partitioned(self.now, la, lb, world.topo.n_lans())
         {
             self.hosts.fault.count_partition_drop();
             return true;
@@ -338,11 +375,17 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
 
     /// A message from `by` to `of` was swallowed by a fault: when the
     /// defence is on, `by` notices the missing forward/ack after the
-    /// suspicion delay and registers a strike.
-    fn suspect_later(&mut self, by: NodeId, of: NodeId) {
+    /// suspicion delay and registers a strike. The suspicion event belongs
+    /// to the observer, so it is routed to `by`'s shard (the suspicion
+    /// delay exceeds the lookahead, so the cross-shard case is safe).
+    fn suspect_later(&mut self, by: NodeId, of: NodeId, world: &World) {
         if self.hosts.defense_on {
-            self.queue
-                .schedule_in(self.defense.suspect_after_ms, Ev::Suspect { by, of });
+            self.route(
+                self.now + self.defense.suspect_after_ms,
+                by,
+                Ev::Suspect { by, of },
+                world,
+            );
         }
     }
 
@@ -351,8 +394,7 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
             return;
         }
         self.suspicions += 1;
-        let now = self.queue.now();
-        if self.hosts.blacklist.strike(by, of, now, &self.defense) {
+        if self.hosts.blacklist.strike(by, of, self.now, &self.defense) {
             // Confusion accounting: did suspicion land on a real offender?
             if self.hosts.fault.is_blackhole(of) || self.hosts.fault.is_liar(of) {
                 self.suspected_evil += 1;
@@ -367,7 +409,7 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
     /// (fresh random search walks take different paths around the
     /// blackholes); otherwise — and on exhausted retries — it settles with
     /// whatever it has.
-    fn on_query_timeout(&mut self, qid: QueryId) {
+    fn on_query_timeout(&mut self, qid: QueryId, world: &World) {
         if self.hosts.defense_on {
             let retry = match self.pending.get_mut(&qid) {
                 Some(p)
@@ -391,44 +433,43 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
             if let Some((attempts, req)) = retry {
                 self.retries += 1;
                 let backoff = self.sc.query_timeout_ms << attempts.min(8);
-                self.queue.schedule_in(backoff, Ev::QueryTimeout { qid });
-                self.with_proto(|p, ctx| p.start_query(ctx, req));
+                self.queue
+                    .schedule_at(self.now + backoff, Ev::QueryTimeout { qid });
+                self.with_proto(world, |p, ctx| p.start_query(ctx, req));
                 return;
             }
         }
-        self.settle_query(qid);
+        self.settle_query(qid, world);
     }
 
     /// Run one protocol callback and apply its effects. The callback's
     /// batched per-kind traffic counts flush as a single `record_batch`
     /// here instead of one scattered `MsgStats` write per message.
-    fn with_proto<F>(&mut self, f: F)
+    fn with_proto<F>(&mut self, world: &World, f: F)
     where
         F: FnOnce(&mut P, &mut Ctx<'_, P::Msg>),
     {
         let buf = std::mem::take(&mut self.fx_buf);
-        let mut ctx = Ctx::new_in(
-            self.queue.now(),
-            &self.can,
-            &self.hosts,
-            &mut self.rng_proto,
-            buf,
-        );
+        let mut ctx = Ctx::new_in(self.now, &world.can, &self.hosts, &mut self.rng_proto, buf);
         ctx.prof = self.prof.handle();
         f(&mut self.proto, &mut ctx);
         let (fx, sent) = ctx.finish();
         let t = self.prof.start();
         self.stats.record_batch(&sent);
         self.prof.stop(Phase::StatsFlush, t);
-        self.fx_buf = self.apply_effects(fx);
+        self.fx_buf = self.apply_effects(fx, world);
     }
 
     /// Apply queued effects; returns the drained buffer for reuse.
     ///
     /// Latency sampling stays here, per message in effect order, so the
-    /// `rng_net` stream (and with it every fingerprint) is byte-for-byte
-    /// what it was when accounting was interleaved per message.
-    fn apply_effects(&mut self, mut work: Vec<Effect<P::Msg>>) -> Vec<Effect<P::Msg>> {
+    /// shard's `rng_net` stream is consumed in a canonical order that does
+    /// not depend on the execution driver.
+    fn apply_effects(
+        &mut self,
+        mut work: Vec<Effect<P::Msg>>,
+        world: &World,
+    ) -> Vec<Effect<P::Msg>> {
         // Iterate: drops may generate follow-up effects (hop budgets bound
         // the chain).
         while !work.is_empty() {
@@ -446,31 +487,31 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
                             // the per-send `rng_net` draw sequence is exactly
                             // the clean run's — the stream-isolation invariant.
                             let t = self.prof.start();
-                            let lat = self.topo.latency(from, to, &mut self.rng_net);
+                            let lat = world.topo.latency(from, to, &mut self.rng_net);
                             self.prof.stop(Phase::Latency, t);
                             let t = self.prof.start();
-                            let dropped = self.fault_drops_send(from, to);
+                            let dropped = self.fault_drops_send(from, to, world);
                             self.prof.stop(Phase::Fault, t);
                             if dropped {
-                                self.suspect_later(from, to);
+                                self.suspect_later(from, to, world);
                             } else {
-                                self.queue.schedule_in(
-                                    lat.max(1),
+                                // Cross-shard targets are cross-LAN, so the
+                                // sampled latency is at least the lookahead.
+                                self.route(
+                                    self.now + lat.max(1),
+                                    to,
                                     Ev::Deliver {
                                         from,
                                         to,
                                         kind,
                                         msg,
                                     },
+                                    world,
                                 );
                             }
                         } else {
-                            let mut ctx = Ctx::new(
-                                self.queue.now(),
-                                &self.can,
-                                &self.hosts,
-                                &mut self.rng_proto,
-                            );
+                            let mut ctx =
+                                Ctx::new(self.now, &world.can, &self.hosts, &mut self.rng_proto);
                             ctx.prof = self.prof.handle();
                             self.proto.on_message_dropped(&mut ctx, from, to, msg);
                             let (fx, sent) = ctx.finish();
@@ -481,15 +522,20 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
                         }
                     }
                     Effect::Timer { node, kind, delay } => {
-                        self.queue
-                            .schedule_in(delay.max(1), Ev::ProtoTimer { node, kind });
+                        // Timers are own-node by the shardable contract.
+                        self.route(
+                            self.now + delay.max(1),
+                            node,
+                            Ev::ProtoTimer { node, kind },
+                            world,
+                        );
                     }
                     Effect::QueryResults { qid, candidates } => {
-                        self.on_query_results(qid, candidates);
+                        self.on_query_results(qid, candidates, world);
                     }
                     Effect::QueryDone { qid, verdict } => {
                         debug_assert_eq!(verdict, QueryVerdict::Exhausted);
-                        self.settle_query(qid);
+                        self.settle_query(qid, world);
                     }
                 }
             }
@@ -501,7 +547,7 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
         work
     }
 
-    fn on_query_results(&mut self, qid: QueryId, candidates: Vec<Candidate>) {
+    fn on_query_results(&mut self, qid: QueryId, candidates: Vec<Candidate>, world: &World) {
         let Some(p) = self.pending.get_mut(&qid) else {
             return; // late results for a settled query
         };
@@ -511,13 +557,13 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
             }
         }
         if p.candidates.len() >= p.wanted {
-            self.settle_query(qid);
+            self.settle_query(qid, world);
         }
     }
 
     /// Finish a discovery: pick the best-fit live candidate and dispatch,
     /// or count a failed task.
-    fn settle_query(&mut self, qid: QueryId) {
+    fn settle_query(&mut self, qid: QueryId, world: &World) {
         let Some(p) = self.pending.remove(&qid) else {
             return;
         };
@@ -551,9 +597,8 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
         }
         let target = ranked[0].node;
         let fallbacks: Vec<NodeId> = ranked[1..].iter().map(|c| c.node).collect();
-        let tid = TaskId(self.next_task);
-        self.next_task += 1;
-        self.push_expected(&p.demand, p.duration_s, false);
+        let tid = self.alloc_tid();
+        let expect_s = expected_time(&p.demand, p.duration_s, &self.avg_cap);
         let spec = DispatchSpec {
             tid,
             expect: p.demand,
@@ -561,51 +606,71 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
             submitted_at: p.submitted_at,
             requester: p.requester,
             fallbacks,
+            expect_s,
+            is_local: false,
         };
-        self.dispatch_to(target, spec);
+        self.dispatch_first(target, spec, world);
     }
 
-    /// Ship a task to `target`, charging the dispatch transfer.
+    /// Ship a task from its requester to `target`, charging the dispatch
+    /// transfer.
     ///
     /// Dispatch payloads ride a reliable bulk-transfer path on purpose:
     /// the fault model targets the control plane (forwarded queries,
     /// adverts, notifications), where the paper's protocols live. A
     /// payload-level fault story would need its own retransmit model.
-    fn dispatch_to(&mut self, target: NodeId, spec: DispatchSpec) {
+    fn dispatch_first(&mut self, target: NodeId, spec: DispatchSpec, world: &World) {
         self.stats.record(MsgKind::Dispatch);
         let delay = if target == spec.requester {
             1
         } else {
-            self.topo.transfer_ms(
+            world.topo.transfer_ms(
                 spec.requester,
                 target,
                 self.sc.dispatch_kbytes,
                 &mut self.rng_net,
             )
         };
-        self.queue
-            .schedule_in(delay, Ev::TaskArrive { to: target, spec });
+        self.route(
+            self.now + delay,
+            target,
+            Ev::TaskArrive { to: target, spec },
+            world,
+        );
     }
 
-    fn push_expected(&mut self, demand: &ResVec, duration_s: f64, local: bool) {
-        self.is_local.push(local);
-        // Expected execution time per Equation (4)'s description: the work
-        // amount over the system-wide average capacity.
-        let mut t: f64 = 0.0;
-        for d in 0..PERF_DIMS {
-            let w = demand[d] * duration_s;
-            if self.avg_cap[d] > 0.0 {
-                t = t.max(w / self.avg_cap[d]);
-            }
-        }
-        self.expected_s.push(t.max(1e-6));
+    /// Re-ship a rejected task from the rejecting node `at` to the next
+    /// candidate. The payload physically bounces back through the
+    /// requester (who owns it) before the onward transfer, so the total
+    /// delay is the return latency plus the forward transfer — which also
+    /// gives every cross-shard leg the WAN latency floor the lookahead
+    /// window requires.
+    fn dispatch_bounce(&mut self, at: NodeId, next: NodeId, spec: DispatchSpec, world: &World) {
+        self.stats.record(MsgKind::Dispatch);
+        let back = world.topo.latency(at, spec.requester, &mut self.rng_net);
+        let fwd = if next == spec.requester {
+            1
+        } else {
+            world.topo.transfer_ms(
+                spec.requester,
+                next,
+                self.sc.dispatch_kbytes,
+                &mut self.rng_net,
+            )
+        };
+        self.route(
+            self.now + back.max(1) + fwd,
+            next,
+            Ev::TaskArrive { to: next, spec },
+            world,
+        );
     }
 
     /// Task payload arrived at a prospective execution node: re-check
     /// Inequality (2); reject to the next best-fit candidate when the node
     /// no longer qualifies (records were stale / a competitor won the
     /// race). A rejected task with no candidates left fails.
-    fn on_task_arrive(&mut self, to: NodeId, mut spec: DispatchSpec) {
+    fn on_task_arrive(&mut self, to: NodeId, mut spec: DispatchSpec, world: &World) {
         let alive = self.hosts.alive[to.idx()];
         let qualifies = alive && self.hosts.execs[to.idx()].qualifies(&spec.expect);
         if qualifies {
@@ -624,14 +689,16 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
             };
             spec.fallbacks.remove(0);
             if self.hosts.alive[next.idx()] {
-                self.dispatch_to(next, spec);
+                self.dispatch_bounce(to, next, spec, world);
                 return;
             }
         }
     }
 
     fn start_task_on(&mut self, node: NodeId, spec: DispatchSpec) {
-        let now = self.queue.now();
+        let now = self.now;
+        self.task_info
+            .insert(spec.tid, (spec.expect_s, spec.is_local));
         let task = RunningTask::with_duration(
             spec.tid,
             spec.expect,
@@ -645,7 +712,7 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
     }
 
     fn schedule_completion(&mut self, node: NodeId) {
-        let now = self.queue.now();
+        let now = self.now;
         let exec = &mut self.hosts.execs[node.idx()];
         let t = self.prof.start();
         let predicted = exec.next_completion(now);
@@ -674,7 +741,7 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
     }
 
     fn on_completion(&mut self, node: NodeId, epoch: u64) {
-        let now = self.queue.now();
+        let now = self.now;
         // The epoch guard: only the memoized live event — matched by fire
         // time *and* the epoch tag it was enqueued under — may collect.
         // Everything else is a superseded prediction (or a dead/rejoined
@@ -688,36 +755,38 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
         self.comp_sched[node.idx()] = None;
         let finished = self.hosts.execs[node.idx()].collect_finished(now);
         for f in finished {
-            if self.is_local[f.id.idx()] {
+            let (expect_s, is_local) = self
+                .task_info
+                .remove(&f.id)
+                .expect("finished task has no expectation record");
+            if is_local {
                 self.tracker.task_local_finished();
                 continue;
             }
             let actual_s = ((f.finished_at - f.submitted_at) as f64 / 1000.0).max(1e-3);
-            let expected = self.expected_s[f.id.idx()];
-            self.tracker.task_finished(expected / actual_s);
+            self.tracker.task_finished(expect_s / actual_s);
         }
         self.schedule_completion(node);
     }
 
-    fn on_arrival(&mut self, node: NodeId) {
+    fn on_arrival(&mut self, node: NodeId, world: &World, src: &mut dyn WorkloadSource) {
         if !self.hosts.alive[node.idx()] {
             return; // chain ends; a future join restarts it
         }
-        let now = self.queue.now();
+        let now = self.now;
         // Schedule the next arrival first (per-node renewal process).
-        let delay = self.source.next_delay(node, now, &mut self.rng_work);
-        self.queue.schedule_in(delay, Ev::Arrival { node });
+        let delay = src.next_delay(node, now, &mut self.rng_work);
+        self.queue.schedule_at(now + delay, Ev::Arrival { node });
 
-        let spec = self.source.next_task(node, now, &mut self.rng_work);
+        let spec = src.next_task(node, now, &mut self.rng_work);
 
         if self.sc.local_exec && self.hosts.execs[node.idx()].qualifies(&spec.expect) {
             // Satisfied by the local scheduler: the discovery protocol is
             // never exercised, so the task stays out of T/F-Ratio (the
             // paper's "submitted" denominator is overlay submissions).
             self.tracker.task_local_generated();
-            let tid = TaskId(self.next_task);
-            self.next_task += 1;
-            self.push_expected(&spec.expect, spec.duration_s, true);
+            let tid = self.alloc_tid();
+            let expect_s = expected_time(&spec.expect, spec.duration_s, &self.avg_cap);
             self.start_task_on(
                 node,
                 DispatchSpec {
@@ -727,6 +796,8 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
                     submitted_at: now,
                     requester: node,
                     fallbacks: Vec::new(),
+                    expect_s,
+                    is_local: true,
                 },
             );
             return;
@@ -734,10 +805,10 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
 
         self.tracker.task_generated();
         if self.sc.oracle {
-            let matching = self
-                .live
-                .iter()
-                .filter(|&&n| self.hosts.execs[n.idx()].qualifies(&spec.expect))
+            // Oracle scenarios force a single shard, so this shard's alive
+            // flags and executors are globally authoritative.
+            let matching = (0..self.hosts.alive.len())
+                .filter(|&i| self.hosts.alive[i] && self.hosts.execs[i].qualifies(&spec.expect))
                 .count();
             self.oracle_match_sum += matching as u64;
             if matching > 0 {
@@ -751,8 +822,7 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
                 self.oracle_record_matchable += 1;
             }
         }
-        let qid = QueryId(self.next_query);
-        self.next_query += 1;
+        let qid = self.alloc_qid();
         self.pending.insert(
             qid,
             PendingQuery {
@@ -766,286 +836,78 @@ impl<'s, P: DiscoveryOverlay> Sim<'s, P> {
             },
         );
         self.queue
-            .schedule_in(self.sc.query_timeout_ms, Ev::QueryTimeout { qid });
+            .schedule_at(now + self.sc.query_timeout_ms, Ev::QueryTimeout { qid });
         let req = QueryRequest {
             qid,
             requester: node,
             demand: spec.expect,
             wanted: self.sc.delta,
         };
-        self.with_proto(|p, ctx| p.start_query(ctx, req));
+        self.with_proto(world, |p, ctx| p.start_query(ctx, req));
     }
 
-    fn churn_swap(&mut self) {
-        // One departure + one join, uniformly spread over time (§IV-B).
-        let victim = if self.live.len() > 1 {
-            Some(self.random_live())
-        } else {
-            None
-        };
-        let newcomer = self.free_ids.front().copied();
-        self.source.note_churn(self.queue.now(), victim, newcomer);
-        if let Some(victim) = victim {
-            self.node_leave(victim);
-        }
-        if let Some(newcomer) = self.free_ids.pop_front() {
-            self.node_join(newcomer);
-        }
-        self.schedule_next_churn();
-    }
-
-    fn node_leave(&mut self, victim: NodeId) {
-        let now = self.queue.now();
-        // Resident tasks: lost with the node, unless checkpointing (§VI
-        // future work) captures their progress and re-submits the residual
-        // work to the overlay. Tasks the departed node ran for itself have
-        // no surviving owner to resubmit them, so they die either way.
-        let drained = self.hosts.execs[victim.idx()].drain_tasks(now);
-        // Its scheduled completion (if any) dies with it; clearing the memo
-        // also stops a later incarnation of the id from matching the
-        // leftover event through an epoch collision.
-        self.comp_sched[victim.idx()] = None;
-        for t in drained {
-            if self.is_local[t.id.idx()] {
-                self.tracker.task_local_killed();
-                continue;
+    /// Handle one popped event at `self.now`.
+    fn handle(&mut self, ev: Ev<P::Msg>, world: &World, src: &mut dyn WorkloadSource) {
+        match ev {
+            Ev::Deliver {
+                from,
+                to,
+                kind,
+                msg,
+            } => {
+                if self.hosts.alive[to.idx()] {
+                    if self.hosts.fault.config().enabled()
+                        && self.hosts.fault.is_blackhole(to)
+                        && kind != MsgKind::FoundNotify
+                    {
+                        // Byzantine receiver: the message vanishes
+                        // unprocessed. FoundNotify is spared so an evil
+                        // requester still collects its own results (the
+                        // selfish-freeloader model, not a self-DoS).
+                        self.hosts.fault.count_blackhole_drop();
+                        self.suspect_later(from, to, world);
+                    } else {
+                        self.with_proto(world, |p, ctx| p.on_message(ctx, to, msg));
+                    }
+                }
+                // Deliveries to nodes that died in-flight vanish; the
+                // sender already paid for the message.
             }
-            if !self.sc.checkpointing {
-                self.tracker.task_killed();
-                continue;
+            Ev::ProtoTimer { node, kind } => {
+                if self.hosts.alive[node.idx()] {
+                    self.with_proto(world, |p, ctx| p.on_timer(ctx, node, kind));
+                }
             }
-            let remaining_s = NodeExec::remaining_nominal_s(&t, PERF_DIMS).max(1.0);
-            self.checkpoint_resubmits += 1;
-            // A surviving node acts as the resubmitter (the original
-            // requester may itself have churned; SOC users re-attach).
-            let resubmitter = self.random_live();
-            let qid = QueryId(self.next_query);
-            self.next_query += 1;
-            self.pending.insert(
-                qid,
-                PendingQuery {
-                    requester: resubmitter,
-                    demand: t.expect,
-                    duration_s: remaining_s,
-                    wanted: self.sc.delta,
-                    submitted_at: t.submitted_at,
-                    candidates: Vec::new(),
-                    attempts: 0,
-                },
-            );
-            self.queue
-                .schedule_in(self.sc.query_timeout_ms, Ev::QueryTimeout { qid });
-            let req = QueryRequest {
-                qid,
-                requester: resubmitter,
-                demand: t.expect,
-                wanted: self.sc.delta,
-            };
-            self.with_proto(|p, ctx| p.start_query(ctx, req));
+            Ev::Arrival { node } => self.on_arrival(node, world, src),
+            Ev::QueryTimeout { qid } => self.on_query_timeout(qid, world),
+            Ev::TaskArrive { to, spec } => self.on_task_arrive(to, spec, world),
+            Ev::Completion { node, epoch } => self.on_completion(node, epoch),
+            Ev::Suspect { by, of } => self.on_suspect(by, of),
         }
-        // Abandon its outstanding discoveries.
-        let dead_queries: Vec<QueryId> = self
-            .pending
-            .iter()
-            .filter(|(_, p)| p.requester == victim)
-            .map(|(&q, _)| q)
-            .collect();
-        for q in dead_queries {
-            self.pending.remove(&q);
-            self.tracker.task_killed();
-        }
-        // Structural removal, then protocol notifications.
-        let reass = self.can.leave(victim);
-        self.hosts.alive[victim.idx()] = false;
-        self.live_remove(victim);
-        let affected: Vec<NodeId> = reass.iter().map(|&(n, _)| n).collect();
-        self.with_proto(|p, ctx| p.on_node_left(ctx, victim));
-        self.with_proto(|p, ctx| p.on_zones_reassigned(ctx, &affected));
-        // The machine behind this id is gone: its suspicions and everyone's
-        // suspicions about it must not leak onto the slot's next occupant.
-        self.hosts.blacklist.clear_node(victim);
-        self.free_ids.push_back(victim);
     }
 
-    fn node_join(&mut self, newcomer: NodeId) {
-        let point = soc_can::overlay::random_point(self.can.dim(), &mut self.rng_overlay);
-        let splitter = self.can.join(newcomer, &point);
-        self.hosts.alive[newcomer.idx()] = true;
-        // Fresh machine: new capacity, idle scheduler.
-        let cap = self.source.node_capacity(&mut self.rng_caps);
-        self.hosts.execs[newcomer.idx()] = NodeExec::new(cap, PsmConfig::default());
-        // Churn replacements are as likely to be hostile as the original
-        // population (internally gated per fraction — no draw when clean).
-        self.hosts.fault.on_join(newcomer, &mut self.rng_fault);
-        self.comp_sched[newcomer.idx()] = None;
-        self.live_add(newcomer);
-        self.with_proto(|p, ctx| p.on_node_joined(ctx, newcomer));
-        self.with_proto(|p, ctx| p.on_zones_reassigned(ctx, &[splitter]));
-        // Restart the arrival chain.
-        let now = self.queue.now();
-        let delay = self.source.next_delay(newcomer, now, &mut self.rng_work);
-        self.queue
-            .schedule_in(delay, Ev::Arrival { node: newcomer });
+    /// Pop and handle every queued event strictly before `wb`, using the
+    /// shard's own workload fork.
+    fn pump_owned(&mut self, wb: SimMillis, world: &World) {
+        let mut src = self.source.take().expect("shard workload fork");
+        self.pump_with(wb, world, &mut *src);
+        self.source = Some(src);
     }
 
-    fn schedule_next_churn(&mut self) {
-        if self.sc.churn_degree <= 0.0 {
-            return;
-        }
-        // churn_degree × n swaps per 3000 s window.
-        let swaps_per_window = self.sc.churn_degree * self.sc.n_nodes as f64;
-        let interval = (3_000_000.0 / swaps_per_window).max(1.0) as SimMillis;
-        // Jitter to avoid lockstep with other periodic events.
-        let jitter = self.rng_churn.random_range(0..=interval / 4 + 1);
-        self.queue.schedule_in(interval + jitter, Ev::ChurnSwap);
-    }
-
-    fn run(mut self) -> RunReport {
-        // soc-lint: allow(no-wall-clock) -- wall_ms is diagnostic-only and excluded from fingerprint() (see report.rs FINGERPRINT_EXCLUDED)
-        let wall_start = std::time::Instant::now();
-        // Protocol start-up.
-        self.with_proto(|p, ctx| p.on_start(ctx));
-        // Arrival chains.
-        let nodes: Vec<NodeId> = self.live.clone();
-        for node in nodes {
-            let delay = self.source.next_delay(node, 0, &mut self.rng_work);
-            self.queue.schedule_in(delay, Ev::Arrival { node });
-        }
-        // Sampling + churn.
-        self.queue.schedule_in(self.sc.sample_ms, Ev::Sample);
-        self.schedule_next_churn();
-
-        let deadline = self.sc.duration_ms;
+    /// Pop and handle every queued event strictly before `wb` with an
+    /// explicit workload source (the single-shard fallback lends the
+    /// master source here).
+    fn pump_with(&mut self, wb: SimMillis, world: &World, src: &mut dyn WorkloadSource) {
         loop {
             let t_pop = self.prof.start();
-            let popped = self.queue.pop_until(deadline);
+            let popped = self.queue.pop_until(wb - 1);
             self.prof.stop(Phase::QueuePop, t_pop);
-            let Some((_, ev)) = popped else { break };
+            let Some((t, ev)) = popped else { break };
+            self.now = t;
             let t_ev = self.prof.start();
             let ph = dispatch_phase(&ev);
-            match ev {
-                Ev::Deliver {
-                    from,
-                    to,
-                    kind,
-                    msg,
-                } => {
-                    if self.hosts.alive[to.idx()] {
-                        if self.hosts.fault.config().enabled()
-                            && self.hosts.fault.is_blackhole(to)
-                            && kind != MsgKind::FoundNotify
-                        {
-                            // Byzantine receiver: the message vanishes
-                            // unprocessed. FoundNotify is spared so an evil
-                            // requester still collects its own results (the
-                            // selfish-freeloader model, not a self-DoS).
-                            self.hosts.fault.count_blackhole_drop();
-                            self.suspect_later(from, to);
-                        } else {
-                            self.with_proto(|p, ctx| p.on_message(ctx, to, msg));
-                        }
-                    }
-                    // Deliveries to nodes that died in-flight vanish; the
-                    // sender already paid for the message.
-                }
-                Ev::ProtoTimer { node, kind } => {
-                    if self.hosts.alive[node.idx()] {
-                        self.with_proto(|p, ctx| p.on_timer(ctx, node, kind));
-                    }
-                }
-                Ev::Arrival { node } => self.on_arrival(node),
-                Ev::QueryTimeout { qid } => self.on_query_timeout(qid),
-                Ev::TaskArrive { to, spec } => self.on_task_arrive(to, spec),
-                Ev::Completion { node, epoch } => self.on_completion(node, epoch),
-                Ev::Suspect { by, of } => self.on_suspect(by, of),
-                Ev::ChurnSwap => self.churn_swap(),
-                Ev::Sample => {
-                    let now = self.queue.now();
-                    let t = self.prof.start();
-                    self.tracker.sample(now);
-                    self.prof.stop(Phase::StatsFlush, t);
-                    if now + self.sc.sample_ms <= deadline {
-                        self.queue.schedule_in(self.sc.sample_ms, Ev::Sample);
-                    }
-                }
-            }
+            self.handle(ev, world, src);
             self.prof.stop(ph, t_ev);
-        }
-        // Final sample exactly at the deadline. When the periodic chain
-        // already sampled there (duration an exact multiple of sample_ms),
-        // the tracker replaces that point rather than duplicating it — and
-        // the replacement matters: events tied at t=deadline may have popped
-        // after the in-loop Sample event, so only a re-sample taken here is
-        // guaranteed to agree with the aggregate counts reported below.
-        self.tracker.sample(deadline);
-        self.tracker
-            .check_conservation()
-            .expect("task conservation violated");
-
-        let breakdown = self
-            .stats
-            .breakdown()
-            .into_iter()
-            .map(|(k, c)| (k.label().to_string(), c))
-            .collect();
-        // Pushes are too fine-grained to time individually; the queue's own
-        // scheduling counter gives the invocation count for free.
-        self.prof
-            .add_count(Phase::QueuePush, self.queue.scheduled_total());
-        RunReport {
-            label: self.proto.name().to_string(),
-            scenario: self.sc.descriptor(),
-            series: self.tracker.series().to_vec(),
-            generated: self.tracker.generated(),
-            finished: self.tracker.finished(),
-            failed: self.tracker.failed(),
-            killed: self.tracker.killed(),
-            rejected: self.tracker.rejected(),
-            checkpoint_resubmits: self.checkpoint_resubmits,
-            completion_scheduled: self.comp_scheduled,
-            completion_dedup_skips: self.comp_dedup_skips,
-            completion_dead_pops: self.comp_dead_pops,
-            local_generated: self.tracker.local_generated(),
-            local_finished: self.tracker.local_finished(),
-            oracle_matchable: if self.sc.oracle {
-                Some(self.oracle_matchable)
-            } else {
-                None
-            },
-            oracle_record_matchable: if self.sc.oracle {
-                Some(self.oracle_record_matchable)
-            } else {
-                None
-            },
-            oracle_mean_matching: if self.sc.oracle && self.tracker.generated() > 0 {
-                Some(self.oracle_match_sum as f64 / self.tracker.generated() as f64)
-            } else {
-                None
-            },
-            t_ratio: self.tracker.t_ratio(),
-            f_ratio: self.tracker.f_ratio(),
-            fairness: self.tracker.fairness(),
-            mean_efficiency: self.tracker.mean_efficiency(),
-            msg_total: self.stats.total(),
-            msg_per_node: self.stats.total() as f64 / self.sc.n_nodes as f64,
-            msg_breakdown: breakdown,
-            faults: FaultSummary {
-                blackhole_nodes: self.hosts.fault.blackhole_count(),
-                liar_nodes: self.hosts.fault.liar_count(),
-                drops_blackhole: self.hosts.fault.drops_blackhole,
-                drops_loss: self.hosts.fault.drops_loss,
-                drops_burst: self.hosts.fault.drops_burst,
-                drops_partition: self.hosts.fault.drops_partition,
-                retries: self.retries,
-                suspicions: self.suspicions,
-                blacklisted: self.hosts.blacklist.blacklisted_total,
-                blacklist_peak: self.hosts.blacklist.peak,
-                suspected_evil: self.suspected_evil,
-                suspected_honest: self.suspected_honest,
-            },
-            wall_ms: wall_start.elapsed().as_millis(),
-            profile: self.prof.summary(),
-            diag: self.proto.diag_string(),
         }
     }
 }
@@ -1061,9 +923,898 @@ fn dispatch_phase<M>(ev: &Ev<M>) -> Phase {
         Ev::TaskArrive { .. } => Phase::TaskArrive,
         Ev::Completion { .. } => Phase::Completion,
         Ev::Suspect { .. } => Phase::Suspect,
-        Ev::ChurnSwap => Phase::ChurnSwap,
-        Ev::Sample => Phase::Sample,
     }
+}
+
+/// Append a sample point, replacing the last point when it carries the
+/// same timestamp (the coordinator's final deadline sample can coincide
+/// with the periodic chain's last tick, and the re-sample wins).
+fn push_point(series: &mut Vec<MetricPoint>, p: MetricPoint) {
+    if series.last().map(|q| q.t_ms) == Some(p.t_ms) {
+        *series.last_mut().expect("non-empty series") = p;
+    } else {
+        series.push(p);
+    }
+}
+
+/// The coordinator: whole-system state no shard may own — the live-node
+/// set, id recycling, the master RNG streams (capacities, overlay points,
+/// churn, fault flags), the master fault plan, and the sampled series.
+/// Runs only between windows, when every shard is at the barrier.
+struct Coord<'s> {
+    sc: &'s Scenario,
+    /// The master workload source: bootstrap + churn capacity draws, and
+    /// the lent `next_delay`/`next_task` server in the single-shard
+    /// fallback for unforkable sources.
+    source: &'s mut dyn WorkloadSource,
+    cq: EventQueue<CoEv>,
+    rng_caps: SmallRng,
+    rng_churn: SmallRng,
+    rng_overlay: SmallRng,
+    rng_fault: SmallRng,
+    /// Authoritative fault-flag assignment; shards hold synced mirrors.
+    fault_master: FaultPlan,
+    free_ids: VecDeque<NodeId>,
+    live: Vec<NodeId>,
+    live_pos: Vec<usize>,
+    series: Vec<MetricPoint>,
+    checkpoint_resubmits: u64,
+    /// Peak simultaneously-active blacklist entries, sampled at every
+    /// metric sample instant (summed across per-shard blacklists with all
+    /// shards quiescent at the barrier — a deterministic definition that
+    /// replaces the serial engine's strike-time bookkeeping).
+    blacklist_peak: u64,
+    prof: Profiler,
+    lookahead: SimMillis,
+    n_shards: usize,
+    deadline: SimMillis,
+}
+
+impl<'s> Coord<'s> {
+    fn live_add(&mut self, node: NodeId) {
+        self.live_pos[node.idx()] = self.live.len();
+        self.live.push(node);
+    }
+
+    fn live_remove(&mut self, node: NodeId) {
+        let pos = self.live_pos[node.idx()];
+        debug_assert_ne!(pos, usize::MAX);
+        let last = *self.live.last().expect("non-empty live set");
+        self.live.swap_remove(pos);
+        if last != node {
+            self.live_pos[last.idx()] = pos;
+        }
+        self.live_pos[node.idx()] = usize::MAX;
+    }
+
+    fn random_live(&mut self) -> NodeId {
+        self.live[self.rng_churn.random_range(0..self.live.len())]
+    }
+
+    fn schedule_next_churn(&mut self, now: SimMillis) {
+        if self.sc.churn_degree <= 0.0 {
+            return;
+        }
+        // churn_degree × n swaps per 3000 s window.
+        let swaps_per_window = self.sc.churn_degree * self.sc.n_nodes as f64;
+        let interval = (3_000_000.0 / swaps_per_window).max(1.0) as SimMillis;
+        // Jitter to avoid lockstep with other periodic events.
+        let jitter = self.rng_churn.random_range(0..=interval / 4 + 1);
+        self.cq
+            .schedule_at(now + interval + jitter, CoEv::ChurnSwap);
+    }
+
+    fn handle_coev<P: DiscoveryOverlay>(
+        &mut self,
+        world: &RwLock<World>,
+        shards: &[Mutex<Shard<P>>],
+        now: SimMillis,
+        ev: CoEv,
+    ) {
+        match ev {
+            CoEv::ChurnSwap => {
+                let t = self.prof.start();
+                self.churn_swap(now, world, shards);
+                self.prof.stop(Phase::ChurnSwap, t);
+            }
+            CoEv::Sample => {
+                let t = self.prof.start();
+                self.sample(now, shards);
+                self.prof.stop(Phase::Sample, t);
+            }
+        }
+    }
+
+    fn churn_swap<P: DiscoveryOverlay>(
+        &mut self,
+        now: SimMillis,
+        world: &RwLock<World>,
+        shards: &[Mutex<Shard<P>>],
+    ) {
+        // One departure + one join, uniformly spread over time (§IV-B).
+        let victim = if self.live.len() > 1 {
+            Some(self.random_live())
+        } else {
+            None
+        };
+        let newcomer = self.free_ids.front().copied();
+        // Churn notifications reach the master and every fork, in shard-id
+        // order — the canonical sequence the fork contract promises.
+        self.source.note_churn(now, victim, newcomer);
+        for s in shards {
+            let mut sh = s.lock().expect("shard lock");
+            if let Some(f) = sh.source.as_mut() {
+                f.note_churn(now, victim, newcomer);
+            }
+        }
+        if let Some(victim) = victim {
+            self.node_leave(victim, now, world, shards);
+        }
+        if let Some(newcomer) = self.free_ids.pop_front() {
+            self.node_join(newcomer, now, world, shards);
+        }
+        self.schedule_next_churn(now);
+    }
+
+    fn node_leave<P: DiscoveryOverlay>(
+        &mut self,
+        victim: NodeId,
+        now: SimMillis,
+        world: &RwLock<World>,
+        shards: &[Mutex<Shard<P>>],
+    ) {
+        let mut w = world.write().expect("world lock");
+        let vshard = w.shard_of[victim.idx()];
+        // Phase 1 — drain the victim's executor (its shard owns the rows).
+        // Resident tasks are lost with the node, unless checkpointing (§VI
+        // future work) captures their progress and re-submits the residual
+        // work to the overlay. Tasks the departed node ran for itself have
+        // no surviving owner to resubmit them, so they die either way.
+        let mut resubmits: Vec<(ResVec, f64, SimMillis)> = Vec::new();
+        {
+            let mut vs = shards[vshard].lock().expect("shard lock");
+            vs.now = now;
+            let drained = vs.hosts.execs[victim.idx()].drain_tasks(now);
+            // Its scheduled completion (if any) dies with it; clearing the
+            // memo also stops a later incarnation of the id from matching
+            // the leftover event through an epoch collision.
+            vs.comp_sched[victim.idx()] = None;
+            for t in drained {
+                let (_, is_local) = vs
+                    .task_info
+                    .remove(&t.id)
+                    .expect("resident task has no expectation record");
+                if is_local {
+                    vs.tracker.task_local_killed();
+                    continue;
+                }
+                if !self.sc.checkpointing {
+                    vs.tracker.task_killed();
+                    continue;
+                }
+                let remaining_s = NodeExec::remaining_nominal_s(&t, PERF_DIMS).max(1.0);
+                resubmits.push((t.expect, remaining_s, t.submitted_at));
+            }
+        }
+        // Phase 2 — re-submit checkpointed residuals. A surviving node acts
+        // as the resubmitter (the original requester may itself have
+        // churned; SOC users re-attach). One resubmitter shard is locked at
+        // a time: the victim shard's lock is already released, so a
+        // resubmitter landing on the victim's own shard cannot deadlock.
+        for (demand, remaining_s, submitted_at) in resubmits {
+            self.checkpoint_resubmits += 1;
+            let resubmitter = self.random_live();
+            let rshard = w.shard_of[resubmitter.idx()];
+            let mut rs = shards[rshard].lock().expect("shard lock");
+            rs.now = now;
+            let qid = rs.alloc_qid();
+            rs.pending.insert(
+                qid,
+                PendingQuery {
+                    requester: resubmitter,
+                    demand,
+                    duration_s: remaining_s,
+                    wanted: self.sc.delta,
+                    submitted_at,
+                    candidates: Vec::new(),
+                    attempts: 0,
+                },
+            );
+            rs.queue
+                .schedule_at(now + self.sc.query_timeout_ms, Ev::QueryTimeout { qid });
+            let req = QueryRequest {
+                qid,
+                requester: resubmitter,
+                demand,
+                wanted: self.sc.delta,
+            };
+            rs.with_proto(&w, |p, ctx| p.start_query(ctx, req));
+        }
+        // Phase 3 — abandon the victim's outstanding discoveries. Swept
+        // after the resubmission loop on purpose: the victim is still live
+        // at resubmission time (serial semantics), so a residual routed
+        // through the victim itself is caught and killed right here.
+        {
+            let mut vs = shards[vshard].lock().expect("shard lock");
+            vs.now = now;
+            let dead_queries: Vec<QueryId> = vs
+                .pending
+                .iter()
+                .filter(|(_, p)| p.requester == victim)
+                .map(|(&q, _)| q)
+                .collect();
+            for q in dead_queries {
+                vs.pending.remove(&q);
+                vs.tracker.task_killed();
+            }
+        }
+        // Phase 4 — structural removal, then protocol notifications.
+        let reass = w.can.leave(victim);
+        let affected: Vec<NodeId> = reass.iter().map(|&(n, _)| n).collect();
+        for s in shards {
+            s.lock().expect("shard lock").hosts.alive[victim.idx()] = false;
+        }
+        self.live_remove(victim);
+        // Every protocol replica drops its row for the victim (the hook is
+        // local bookkeeping by contract: no sends, no RNG).
+        for s in shards {
+            let mut sh = s.lock().expect("shard lock");
+            sh.now = now;
+            sh.with_proto(&w, |p, ctx| p.on_node_left(ctx, victim));
+        }
+        // Zone-reassignment notifications go to each affected node's own
+        // shard (the hook draws per-node randomness and sends adverts).
+        for (sid, s) in shards.iter().enumerate() {
+            let own: Vec<NodeId> = affected
+                .iter()
+                .copied()
+                .filter(|n| w.shard_of[n.idx()] == sid)
+                .collect();
+            let mut sh = s.lock().expect("shard lock");
+            sh.now = now;
+            sh.with_proto(&w, |p, ctx| p.on_zones_reassigned(ctx, &own));
+        }
+        // The machine behind this id is gone: its suspicions and everyone's
+        // suspicions about it must not leak onto the slot's next occupant.
+        for s in shards {
+            s.lock()
+                .expect("shard lock")
+                .hosts
+                .blacklist
+                .clear_node(victim);
+        }
+        self.free_ids.push_back(victim);
+    }
+
+    fn node_join<P: DiscoveryOverlay>(
+        &mut self,
+        newcomer: NodeId,
+        now: SimMillis,
+        world: &RwLock<World>,
+        shards: &[Mutex<Shard<P>>],
+    ) {
+        let mut w = world.write().expect("world lock");
+        let point = soc_can::overlay::random_point(w.can.dim(), &mut self.rng_overlay);
+        let splitter = w.can.join(newcomer, &point);
+        for s in shards {
+            s.lock().expect("shard lock").hosts.alive[newcomer.idx()] = true;
+        }
+        // Fresh machine: new capacity, idle scheduler. The capacity draw
+        // stays on the master source/stream; only the owner shard's
+        // executor row is authoritative, so only it is rebuilt.
+        let cap = self.source.node_capacity(&mut self.rng_caps);
+        let oshard = w.shard_of[newcomer.idx()];
+        {
+            let mut os = shards[oshard].lock().expect("shard lock");
+            os.hosts.execs[newcomer.idx()] = NodeExec::new(cap, PsmConfig::default());
+            os.comp_sched[newcomer.idx()] = None;
+        }
+        // Churn replacements are as likely to be hostile as the original
+        // population (internally gated per fraction — no draw when clean).
+        // The master plan draws; every shard mirror gets the verdict.
+        self.fault_master.on_join(newcomer, &mut self.rng_fault);
+        let evil = self.fault_master.is_blackhole(newcomer);
+        let liar = self.fault_master.is_liar(newcomer);
+        for s in shards {
+            s.lock()
+                .expect("shard lock")
+                .hosts
+                .fault
+                .set_flags(newcomer, evil, liar);
+        }
+        self.live_add(newcomer);
+        {
+            let mut os = shards[oshard].lock().expect("shard lock");
+            os.now = now;
+            os.with_proto(&w, |p, ctx| p.on_node_joined(ctx, newcomer));
+        }
+        {
+            let sshard = w.shard_of[splitter.idx()];
+            let mut ss = shards[sshard].lock().expect("shard lock");
+            ss.now = now;
+            ss.with_proto(&w, |p, ctx| p.on_zones_reassigned(ctx, &[splitter]));
+        }
+        // Restart the arrival chain on the owner shard's workload fork
+        // (or the lent master in the single-shard fallback).
+        {
+            let mut guard = shards[oshard].lock().expect("shard lock");
+            let os = &mut *guard;
+            os.now = now;
+            let delay = match os.source.as_mut() {
+                Some(f) => f.next_delay(newcomer, now, &mut os.rng_work),
+                None => self.source.next_delay(newcomer, now, &mut os.rng_work),
+            };
+            os.queue
+                .schedule_at(now + delay, Ev::Arrival { node: newcomer });
+        }
+    }
+
+    /// Metric sample at a barrier: fold every shard's tracker into a fresh
+    /// aggregate (fixed shard order) and record the point on the
+    /// coordinator's series. Also the blacklist-peak observation point.
+    fn sample<P: DiscoveryOverlay>(&mut self, now: SimMillis, shards: &[Mutex<Shard<P>>]) {
+        let mut agg = TaskTracker::new();
+        let mut active = 0u64;
+        for s in shards {
+            let sh = s.lock().expect("shard lock");
+            agg.absorb(&sh.tracker);
+            active += sh.hosts.blacklist.active_total(now);
+        }
+        let p = agg.sample(now);
+        push_point(&mut self.series, p);
+        self.blacklist_peak = self.blacklist_peak.max(active);
+        if now + self.sc.sample_ms <= self.deadline {
+            self.cq.schedule_at(now + self.sc.sample_ms, CoEv::Sample);
+        }
+    }
+}
+
+/// Build the shard decomposition and the coordinator for one run.
+///
+/// Ordering is load-bearing: the shard count is fixed *before* any
+/// per-shard RNG stream is created, and the master streams draw in the
+/// exact bootstrap order (capacities → topology → overlay → fault plan).
+fn bootstrap<'s, P: DiscoveryOverlay>(
+    sc: &'s Scenario,
+    source: &'s mut dyn WorkloadSource,
+    proto: P,
+    can_dim: usize,
+    mode: ExecMode,
+) -> (Coord<'s>, RwLock<World>, Vec<Mutex<Shard<P>>>, bool) {
+    let max_nodes = sc.n_nodes + id_headroom(sc.n_nodes);
+    let mut rng_caps = stream_rng(sc.seed, RngStreams::NodeCapacities);
+    let mut rng_topo = stream_rng(sc.seed, RngStreams::Topology);
+    let mut rng_overlay = stream_rng(sc.seed, RngStreams::Overlay);
+    let mut rng_fault = stream_rng(sc.seed, RngStreams::Fault);
+    let fault_master = FaultPlan::new(sc.fault, max_nodes, &mut rng_fault);
+    let defense_on = matches!(
+        soc_types::knobs::raw("SOC_FAULT_DEFENSE").as_deref(),
+        Some("on")
+    );
+
+    let caps: Vec<ResVec> = (0..max_nodes)
+        .map(|_| source.node_capacity(&mut rng_caps))
+        .collect();
+    let avg_cap = {
+        let mut acc = ResVec::zeros(caps[0].dim());
+        for c in &caps[..sc.n_nodes] {
+            acc += *c;
+        }
+        acc / sc.n_nodes as f64
+    };
+
+    let psm_cfg = PsmConfig::default();
+    let mut alive = vec![false; max_nodes];
+    for a in alive.iter_mut().take(sc.n_nodes) {
+        *a = true;
+    }
+    let can = CanOverlay::bootstrap(can_dim, sc.n_nodes, max_nodes, &mut rng_overlay);
+    let topo = LanTopology::new(
+        max_nodes,
+        sc.lan_size,
+        LatencyConfig::default(),
+        &mut rng_topo,
+    );
+    let n_lans = topo.n_lans() as usize;
+    // The window bound: no cross-shard (= cross-LAN) event can fire sooner
+    // than this after its cause.
+    let lookahead = topo.min_cross_lan_latency_ms().max(1);
+
+    // Shard-count decision. `SOC_SIM_SHARDS` is simulated configuration
+    // (it changes fingerprints); oracle scans and unshardable protocols or
+    // workload sources force the single-shard fallback.
+    let mut s_target = if !proto.shardable() || sc.oracle || n_lans <= 1 {
+        1
+    } else {
+        match soc_types::knobs::raw("SOC_SIM_SHARDS") {
+            Some(v) => v
+                .parse::<usize>()
+                .ok()
+                .filter(|&s| s >= 1)
+                .map(|s| s.clamp(1, n_lans))
+                .unwrap_or_else(|| 8.min(n_lans)),
+            None => 8.min(n_lans),
+        }
+    };
+    if s_target > 1 && proto.fork_shard().is_none() {
+        s_target = 1;
+    }
+    let mut fork0: Option<Box<dyn WorkloadSource>> = None;
+    if s_target > 1 {
+        fork0 = source.fork_shard(0);
+        if fork0.is_none() {
+            s_target = 1;
+        }
+    }
+    // Whole-LAN groupings: shard = lan / lans_per_shard. Computed only
+    // after the final shard count is known.
+    let lans_per_shard = n_lans.div_ceil(s_target);
+    let n_shards = (n_lans - 1) / lans_per_shard + 1;
+    let shard_of: Vec<usize> = (0..max_nodes)
+        .map(|i| topo.lan_of(NodeId(i as u32)) as usize / lans_per_shard)
+        .collect();
+    let mut forks: Vec<Option<Box<dyn WorkloadSource>>> = Vec::with_capacity(n_shards);
+    forks.push(fork0);
+    for s in 1..n_shards {
+        forks.push(Some(source.fork_shard(s).expect(
+            "workload source forked shard 0 but refused a later shard",
+        )));
+    }
+    let mut protos: Vec<P> = Vec::with_capacity(n_shards);
+    protos.push(proto);
+    for _ in 1..n_shards {
+        let f = protos[0]
+            .fork_shard()
+            .expect("protocol answered the fork probe but refused a shard fork");
+        protos.push(f);
+    }
+    let threaded = mode == ExecMode::Sharded && n_shards > 1;
+
+    let live: Vec<NodeId> = (0..sc.n_nodes).map(|i| NodeId(i as u32)).collect();
+    let mut live_pos = vec![usize::MAX; max_nodes];
+    for (i, n) in live.iter().enumerate() {
+        live_pos[n.idx()] = i;
+    }
+    let free_ids: VecDeque<NodeId> = (sc.n_nodes..max_nodes).map(|i| NodeId(i as u32)).collect();
+
+    let shards: Vec<Mutex<Shard<P>>> = protos
+        .into_iter()
+        .zip(forks)
+        .enumerate()
+        .map(|(id, (proto, source))| {
+            Mutex::new(Shard {
+                id,
+                sc: *sc,
+                source,
+                now: 0,
+                proto,
+                hosts: Hosts {
+                    execs: caps.iter().map(|c| NodeExec::new(*c, psm_cfg)).collect(),
+                    alive: alive.clone(),
+                    cmax: cmax(),
+                    fault: fault_master.clone(),
+                    blacklist: Blacklist::new(max_nodes),
+                    defense_on,
+                },
+                queue: EventQueue::with_capacity(1 << 16),
+                outbox: Vec::new(),
+                pending: BTreeMap::new(),
+                fx_buf: Vec::new(),
+                fx_next: Vec::new(),
+                task_info: BTreeMap::new(),
+                comp_sched: vec![None; max_nodes],
+                comp_scheduled: 0,
+                comp_dedup_skips: 0,
+                comp_dead_pops: 0,
+                defense: DefenseParams::default(),
+                retries: 0,
+                suspicions: 0,
+                suspected_evil: 0,
+                suspected_honest: 0,
+                oracle_matchable: 0,
+                oracle_match_sum: 0,
+                oracle_record_matchable: 0,
+                tracker: TaskTracker::new(),
+                stats: MsgStats::new(max_nodes),
+                avg_cap,
+                next_task: 0,
+                next_query: 0,
+                rng_work: stream_rng_shard(sc.seed, RngStreams::Workload, id),
+                rng_proto: stream_rng_shard(sc.seed, RngStreams::Protocol, id),
+                rng_net: stream_rng_shard(sc.seed, RngStreams::Network, id),
+                rng_dispatch: stream_rng_shard(sc.seed, RngStreams::Dispatch, id),
+                rng_fault: stream_rng_shard(sc.seed, RngStreams::Fault, id),
+                prof: Profiler::from_env(),
+            })
+        })
+        .collect();
+
+    let coord = Coord {
+        sc,
+        source,
+        cq: EventQueue::with_capacity(1 << 8),
+        rng_caps,
+        rng_churn: stream_rng(sc.seed, RngStreams::Churn),
+        rng_overlay,
+        rng_fault,
+        fault_master,
+        free_ids,
+        live,
+        live_pos,
+        series: Vec::new(),
+        checkpoint_resubmits: 0,
+        blacklist_peak: 0,
+        prof: Profiler::from_env(),
+        lookahead,
+        n_shards,
+        deadline: sc.duration_ms,
+    };
+    let world = RwLock::new(World {
+        can,
+        topo,
+        shard_of,
+        lookahead,
+    });
+    (coord, world, shards, threaded)
+}
+
+/// One coordinator decision between windows.
+enum Step {
+    /// No runnable event remains at or before the deadline.
+    Done,
+    /// A coordinator event ran (and its outboxes must be merged).
+    Merged,
+    /// Pump every shard up to (excluding) this bound, then merge.
+    Window(SimMillis),
+}
+
+/// Decide the next step: run the earliest coordinator event if it is due
+/// at or before the earliest shard event (coordinator-first tie-break, so
+/// churn/sampling at `t` precede shard events at `t`), otherwise open a
+/// window bounded by the lookahead and the next coordinator event.
+fn coordinator_step<P: DiscoveryOverlay>(
+    coord: &mut Coord<'_>,
+    world: &RwLock<World>,
+    shards: &[Mutex<Shard<P>>],
+) -> Step {
+    let deadline = coord.deadline;
+    let ws = shards
+        .iter()
+        .filter_map(|s| s.lock().expect("shard lock").queue.peek_time())
+        .min()
+        .filter(|&t| t <= deadline);
+    let tc = coord.cq.peek_time().filter(|&t| t <= deadline);
+    match (ws, tc) {
+        (None, None) => Step::Done,
+        (ws, Some(t)) if ws.is_none_or(|w| t <= w) => {
+            let (at, ev) = coord.cq.pop_until(t).expect("peeked coordinator event");
+            debug_assert_eq!(at, t);
+            coord.handle_coev(world, shards, t, ev);
+            Step::Merged
+        }
+        (ws, tc) => {
+            let w = ws.expect("a shard event exists on this branch");
+            let mut wb = deadline + 1;
+            if coord.n_shards > 1 {
+                wb = wb.min(w + coord.lookahead);
+            }
+            if let Some(t) = tc {
+                wb = wb.min(t);
+            }
+            // Progress: wb ≥ w + 1 always (lookahead ≥ 1, tc > w here,
+            // w ≤ deadline), so the earliest event is inside the window.
+            Step::Window(wb)
+        }
+    }
+}
+
+/// Drain every outbox and deliver the merged batch in canonical order.
+/// `schedule_at` into a queue whose clock trails the fire times, plus the
+/// FIFO tie-break, preserves the merge order exactly.
+fn merge_outboxes<P: DiscoveryOverlay>(shards: &[Mutex<Shard<P>>]) {
+    let per: Vec<Outbox<P::Msg>> = shards
+        .iter()
+        .map(|s| std::mem::take(&mut s.lock().expect("shard lock").outbox))
+        .collect();
+    if per.iter().all(Vec::is_empty) {
+        return;
+    }
+    for (at, tgt, ev) in canonical_merge(per) {
+        shards[tgt]
+            .lock()
+            .expect("shard lock")
+            .queue
+            .schedule_at(at, ev);
+    }
+}
+
+/// Drive every shard window inline on the calling thread.
+fn drive_inline<P: DiscoveryOverlay>(
+    coord: &mut Coord<'_>,
+    world: &RwLock<World>,
+    shards: &[Mutex<Shard<P>>],
+) {
+    loop {
+        match coordinator_step(coord, world, shards) {
+            Step::Done => break,
+            Step::Merged => merge_outboxes(shards),
+            Step::Window(wb) => {
+                let wr = world.read().expect("world lock");
+                for s in shards {
+                    let mut sh = s.lock().expect("shard lock");
+                    if sh.source.is_some() {
+                        sh.pump_owned(wb, &wr);
+                    } else {
+                        sh.pump_with(wb, &wr, coord.source);
+                    }
+                }
+                drop(wr);
+                merge_outboxes(shards);
+            }
+        }
+    }
+}
+
+/// Drive shard windows on persistent worker threads. Two barrier crossings
+/// per window: one to publish the bound, one to close the window before
+/// the coordinator merges. Workers own a fixed stripe of shards
+/// (`w, w+W, …`), so a shard is only ever pumped by one thread and the
+/// Mutexes are uncontended — they exist to satisfy the type system and to
+/// keep the inline driver on the identical code path.
+fn drive_threaded<P: DiscoveryOverlay + Send>(
+    coord: &mut Coord<'_>,
+    world: &RwLock<World>,
+    shards: &[Mutex<Shard<P>>],
+) {
+    let n_shards = shards.len();
+    let n_workers = n_shards
+        .min(
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+        )
+        .max(1);
+    let barrier = Barrier::new(n_workers + 1);
+    let bound = AtomicU64::new(0);
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for w in 0..n_workers {
+            let barrier = &barrier;
+            let bound = &bound;
+            let done = &done;
+            scope.spawn(move || {
+                // Each worker times its own barrier waits on a private
+                // profiler (the shared ones live inside the shard locks)
+                // and folds them into its first shard's profiler at exit.
+                let prof = Profiler::from_env();
+                loop {
+                    let t = prof.start();
+                    barrier.wait();
+                    prof.stop(Phase::BarrierWait, t);
+                    if done.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let wb = bound.load(Ordering::Acquire);
+                    let wr = world.read().expect("world lock");
+                    let mut s = w;
+                    while s < n_shards {
+                        shards[s].lock().expect("shard lock").pump_owned(wb, &wr);
+                        s += n_workers;
+                    }
+                    drop(wr);
+                    let t = prof.start();
+                    barrier.wait();
+                    prof.stop(Phase::BarrierWait, t);
+                }
+                shards[w].lock().expect("shard lock").prof.absorb(&prof);
+            });
+        }
+        loop {
+            match coordinator_step(coord, world, shards) {
+                Step::Done => break,
+                Step::Merged => merge_outboxes(shards),
+                Step::Window(wb) => {
+                    bound.store(wb, Ordering::Release);
+                    barrier.wait(); // open the window
+                    barrier.wait(); // every shard pumped to wb
+                    merge_outboxes(shards);
+                }
+            }
+        }
+        done.store(true, Ordering::Release);
+        barrier.wait();
+    });
+}
+
+/// Tear down the shards and assemble the report.
+fn finish<P: DiscoveryOverlay>(
+    mut coord: Coord<'_>,
+    shards: Vec<Mutex<Shard<P>>>,
+    wall_start: std::time::Instant,
+) -> RunReport {
+    let deadline = coord.deadline;
+    let mut shs: Vec<Shard<P>> = shards
+        .into_iter()
+        .map(|m| m.into_inner().expect("shard lock"))
+        .collect();
+
+    // Final sample exactly at the deadline. When the periodic chain
+    // already sampled there (duration an exact multiple of sample_ms),
+    // the point is replaced rather than duplicated — and the replacement
+    // matters: events tied at t=deadline may have run after the in-loop
+    // Sample, so only a re-sample taken here is guaranteed to agree with
+    // the aggregate counts reported below.
+    let mut agg = TaskTracker::new();
+    let mut active = 0u64;
+    for sh in &shs {
+        agg.absorb(&sh.tracker);
+        active += sh.hosts.blacklist.active_total(deadline);
+    }
+    coord.blacklist_peak = coord.blacklist_peak.max(active);
+    let p = agg.sample(deadline);
+    push_point(&mut coord.series, p);
+    agg.set_series(std::mem::take(&mut coord.series));
+    agg.check_conservation()
+        .expect("task conservation violated");
+
+    let mut stats = MsgStats::new(shs[0].hosts.alive.len());
+    for sh in &shs {
+        stats.absorb(&sh.stats);
+    }
+    let breakdown = stats
+        .breakdown()
+        .into_iter()
+        .map(|(k, c)| (k.label().to_string(), c))
+        .collect();
+
+    // Pushes are too fine-grained to time individually; the queues' own
+    // scheduling counters give the invocation count for free.
+    let mut pushes = coord.cq.scheduled_total();
+    let prof = &mut coord.prof;
+    for sh in &shs {
+        prof.absorb(&sh.prof);
+        pushes += sh.queue.scheduled_total();
+    }
+    prof.add_count(Phase::QueuePush, pushes);
+
+    let comp_scheduled: u64 = shs.iter().map(|s| s.comp_scheduled).sum();
+    let comp_dedup_skips: u64 = shs.iter().map(|s| s.comp_dedup_skips).sum();
+    let comp_dead_pops: u64 = shs.iter().map(|s| s.comp_dead_pops).sum();
+    let retries: u64 = shs.iter().map(|s| s.retries).sum();
+    let suspicions: u64 = shs.iter().map(|s| s.suspicions).sum();
+    let suspected_evil: u64 = shs.iter().map(|s| s.suspected_evil).sum();
+    let suspected_honest: u64 = shs.iter().map(|s| s.suspected_honest).sum();
+    let blacklisted: u64 = shs
+        .iter()
+        .map(|s| s.hosts.blacklist.blacklisted_total)
+        .sum();
+    let drops_blackhole: u64 = shs.iter().map(|s| s.hosts.fault.drops_blackhole).sum();
+    let drops_loss: u64 = shs.iter().map(|s| s.hosts.fault.drops_loss).sum();
+    let drops_burst: u64 = shs.iter().map(|s| s.hosts.fault.drops_burst).sum();
+    let drops_partition: u64 = shs.iter().map(|s| s.hosts.fault.drops_partition).sum();
+    let oracle_matchable: u64 = shs.iter().map(|s| s.oracle_matchable).sum();
+    let oracle_match_sum: u64 = shs.iter().map(|s| s.oracle_match_sum).sum();
+    let oracle_record_matchable: u64 = shs.iter().map(|s| s.oracle_record_matchable).sum();
+
+    // Protocol diagnostics: shard 0's instance absorbs the others'.
+    let mut first = shs.remove(0);
+    for sh in &shs {
+        first.proto.absorb_diag(&sh.proto);
+    }
+    let sc = coord.sc;
+
+    RunReport {
+        label: first.proto.name().to_string(),
+        scenario: sc.descriptor(),
+        series: agg.series().to_vec(),
+        generated: agg.generated(),
+        finished: agg.finished(),
+        failed: agg.failed(),
+        killed: agg.killed(),
+        rejected: agg.rejected(),
+        checkpoint_resubmits: coord.checkpoint_resubmits,
+        completion_scheduled: comp_scheduled,
+        completion_dedup_skips: comp_dedup_skips,
+        completion_dead_pops: comp_dead_pops,
+        local_generated: agg.local_generated(),
+        local_finished: agg.local_finished(),
+        oracle_matchable: if sc.oracle {
+            Some(oracle_matchable)
+        } else {
+            None
+        },
+        oracle_record_matchable: if sc.oracle {
+            Some(oracle_record_matchable)
+        } else {
+            None
+        },
+        oracle_mean_matching: if sc.oracle && agg.generated() > 0 {
+            Some(oracle_match_sum as f64 / agg.generated() as f64)
+        } else {
+            None
+        },
+        t_ratio: agg.t_ratio(),
+        f_ratio: agg.f_ratio(),
+        fairness: agg.fairness(),
+        mean_efficiency: agg.mean_efficiency(),
+        msg_total: stats.total(),
+        msg_per_node: stats.total() as f64 / sc.n_nodes as f64,
+        msg_breakdown: breakdown,
+        faults: FaultSummary {
+            blackhole_nodes: coord.fault_master.blackhole_count(),
+            liar_nodes: coord.fault_master.liar_count(),
+            drops_blackhole,
+            drops_loss,
+            drops_burst,
+            drops_partition,
+            retries,
+            suspicions,
+            blacklisted,
+            blacklist_peak: coord.blacklist_peak,
+            suspected_evil,
+            suspected_honest,
+        },
+        wall_ms: wall_start.elapsed().as_millis(),
+        profile: coord.prof.summary(),
+        diag: first.proto.diag_string(),
+    }
+}
+
+/// Run one scenario through the windowed engine with an explicit driver.
+fn run_windowed<P: DiscoveryOverlay + Send>(
+    sc: &Scenario,
+    source: &mut dyn WorkloadSource,
+    proto: P,
+    can_dim: usize,
+    mode: ExecMode,
+) -> RunReport {
+    // soc-lint: allow(no-wall-clock) -- wall_ms is diagnostic-only and excluded from fingerprint() (see report.rs FINGERPRINT_EXCLUDED)
+    let wall_start = std::time::Instant::now();
+    let (mut coord, world, shards, threaded) = bootstrap(sc, source, proto, can_dim, mode);
+
+    // Protocol start-up, per shard over its own live nodes (global node
+    // order within each shard). Cross-shard bootstrap sends are cross-LAN,
+    // so buffering them to the first merge is within the lookahead rule.
+    {
+        let wr = world.read().expect("world lock");
+        for (sid, s) in shards.iter().enumerate() {
+            let own: Vec<NodeId> = coord
+                .live
+                .iter()
+                .copied()
+                .filter(|n| wr.shard_of[n.idx()] == sid)
+                .collect();
+            let mut sh = s.lock().expect("shard lock");
+            sh.with_proto(&wr, |p, ctx| p.on_start_nodes(ctx, &own));
+        }
+    }
+    merge_outboxes(&shards);
+    // Arrival chains, one per live node, drawn from the owner shard's
+    // workload fork (or the lent master in the single-shard fallback).
+    {
+        let wr = world.read().expect("world lock");
+        for node in coord.live.clone() {
+            let sid = wr.shard_of[node.idx()];
+            let mut guard = shards[sid].lock().expect("shard lock");
+            let sh = &mut *guard;
+            let delay = match sh.source.as_mut() {
+                Some(f) => f.next_delay(node, 0, &mut sh.rng_work),
+                None => coord.source.next_delay(node, 0, &mut sh.rng_work),
+            };
+            sh.queue.schedule_at(delay, Ev::Arrival { node });
+        }
+    }
+    // Sampling + churn live on the coordinator queue.
+    coord.cq.schedule_at(sc.sample_ms, CoEv::Sample);
+    coord.schedule_next_churn(0);
+
+    if threaded {
+        drive_threaded(&mut coord, &world, &shards);
+    } else {
+        drive_inline(&mut coord, &world, &shards);
+    }
+
+    finish(coord, shards, wall_start)
 }
 
 /// Build the scenario's configured synthetic workload source (the object a
@@ -1088,37 +1839,59 @@ pub fn run_scenario(sc: &Scenario) -> RunReport {
 /// must match the scenario's shape (node counts, call order); the
 /// scenario's own `workload` spec is ignored.
 pub fn run_scenario_with(sc: &Scenario, source: &mut dyn WorkloadSource) -> RunReport {
+    run_scenario_with_exec(sc, source, exec_mode_from_env())
+}
+
+/// Exec-mode-explicit entry point for in-crate equivalence tests (avoids
+/// env-var races under the parallel test harness; env-flipping coverage
+/// lives in the serialized bench suite).
+fn run_scenario_with_exec(
+    sc: &Scenario,
+    source: &mut dyn WorkloadSource,
+    mode: ExecMode,
+) -> RunReport {
     let max_nodes = sc.n_nodes + id_headroom(sc.n_nodes);
     // Scaled-down scenarios shrink task durations; protocol cycles shrink
     // by the same factor so staleness-vs-lifetime ratios stay faithful.
     let f = (sc.mean_duration_s / 3000.0).min(1.0);
     match sc.protocol {
-        ProtocolChoice::Hid => run_pidcan(sc, source, PidCanConfig::hid().scale_cycles(f)),
-        ProtocolChoice::Sid => run_pidcan(sc, source, PidCanConfig::sid().scale_cycles(f)),
-        ProtocolChoice::HidSos => run_pidcan(sc, source, PidCanConfig::hid_sos().scale_cycles(f)),
-        ProtocolChoice::SidSos => run_pidcan(sc, source, PidCanConfig::sid_sos().scale_cycles(f)),
-        ProtocolChoice::SidVd => run_pidcan(sc, source, PidCanConfig::sid_vd().scale_cycles(f)),
+        ProtocolChoice::Hid => run_pidcan(sc, source, PidCanConfig::hid().scale_cycles(f), mode),
+        ProtocolChoice::Sid => run_pidcan(sc, source, PidCanConfig::sid().scale_cycles(f), mode),
+        ProtocolChoice::HidSos => {
+            run_pidcan(sc, source, PidCanConfig::hid_sos().scale_cycles(f), mode)
+        }
+        ProtocolChoice::SidSos => {
+            run_pidcan(sc, source, PidCanConfig::sid_sos().scale_cycles(f), mode)
+        }
+        ProtocolChoice::SidVd => {
+            run_pidcan(sc, source, PidCanConfig::sid_vd().scale_cycles(f), mode)
+        }
         ProtocolChoice::Newscast => {
             let proto = Newscast::new(
                 GossipConfig::default().scale_cycles(f),
                 sc.n_nodes,
                 max_nodes,
             );
-            Sim::new(sc, source, proto, soc_types::SOC_DIMS).run()
+            run_windowed(sc, source, proto, soc_types::SOC_DIMS, mode)
         }
         ProtocolChoice::Khdn => {
             let proto = KhdnCan::new(KhdnConfig::default().scale_cycles(f), sc.n_nodes, max_nodes);
-            Sim::new(sc, source, proto, soc_types::SOC_DIMS).run()
+            run_windowed(sc, source, proto, soc_types::SOC_DIMS, mode)
         }
     }
 }
 
-fn run_pidcan(sc: &Scenario, source: &mut dyn WorkloadSource, mut cfg: PidCanConfig) -> RunReport {
+fn run_pidcan(
+    sc: &Scenario,
+    source: &mut dyn WorkloadSource,
+    mut cfg: PidCanConfig,
+    mode: ExecMode,
+) -> RunReport {
     let max_nodes = sc.n_nodes + id_headroom(sc.n_nodes);
     cfg.corner_jitter = sc.corner_jitter;
     let dim = cfg.overlay_dim();
     let proto = PidCan::new(cfg, dim, sc.n_nodes, max_nodes);
-    Sim::new(sc, source, proto, dim).run()
+    run_windowed(sc, source, proto, dim, mode)
 }
 
 #[cfg(test)]
@@ -1428,5 +2201,107 @@ mod checkpoint_tests {
             r.finished + r.failed + r.killed + r.rejected <= r.generated,
             "conservation with resubmissions"
         );
+    }
+}
+
+#[cfg(test)]
+mod exec_tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use rand::SeedableRng;
+    use soc_net::FaultConfig;
+
+    /// The canonical cross-shard order is, by definition, ascending
+    /// `(timestamp, sender shard, emission sequence)`. 256 randomized
+    /// multi-shard outbox shapes, checked in lockstep against a reference
+    /// that sorts explicit keys.
+    #[test]
+    fn canonical_merge_matches_reference_order() {
+        // Payload stands in for the event: `(sender shard, emission seq)`.
+        type Row = (SimMillis, usize, (usize, usize));
+        let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+        for case in 0..256 {
+            let n_shards: usize = rng.random_range(1..=8);
+            let mut per: Vec<Vec<Row>> = Vec::new();
+            for sender in 0..n_shards {
+                let len: usize = rng.random_range(0..12);
+                per.push(
+                    (0..len)
+                        .map(|seq| {
+                            // Tiny timestamp range on purpose: maximal
+                            // tie pressure on the stable sort.
+                            let t: SimMillis = rng.random_range(0..6);
+                            let tgt: usize = rng.random_range(0..n_shards);
+                            (t, tgt, (sender, seq))
+                        })
+                        .collect(),
+                );
+            }
+            let mut reference: Vec<Row> = per.iter().flatten().copied().collect();
+            reference.sort_by_key(|&(t, _, (sender, seq))| (t, sender, seq));
+            let merged = canonical_merge(per);
+            assert_eq!(merged, reference, "case {case} diverged");
+        }
+    }
+
+    fn fp(sc: &Scenario, mode: ExecMode) -> String {
+        let mut source = build_source(sc);
+        run_scenario_with_exec(sc, &mut source, mode).fingerprint()
+    }
+
+    /// The tentpole invariant: both drivers execute the identical windowed
+    /// schedule, so sharded runs are bitwise-identical to serial — across
+    /// plain, churn and checkpointing configurations.
+    #[test]
+    fn sharded_driver_is_bitwise_identical_to_serial() {
+        let mut ckpt = Scenario::quick(ProtocolChoice::Hid)
+            .nodes(120)
+            .hours(1)
+            .churn(0.75)
+            .seed(13);
+        ckpt.checkpointing = true;
+        for sc in [
+            Scenario::quick(ProtocolChoice::Hid).nodes(120).seed(11),
+            Scenario::quick(ProtocolChoice::SidSos)
+                .nodes(120)
+                .hours(1)
+                .churn(0.5)
+                .seed(12),
+            ckpt,
+        ] {
+            assert_eq!(
+                fp(&sc, ExecMode::Serial),
+                fp(&sc, ExecMode::Sharded),
+                "drivers diverged on {}",
+                sc.descriptor()
+            );
+        }
+    }
+
+    /// Same invariant with the fault model active (drop verdicts and
+    /// suspicion routing cross shard boundaries).
+    #[test]
+    fn sharded_driver_matches_serial_under_faults() {
+        let sc = Scenario::quick(ProtocolChoice::Hid)
+            .nodes(120)
+            .hours(1)
+            .seed(14)
+            .fault(FaultConfig {
+                blackhole_frac: 0.2,
+                loss: 0.02,
+                ..FaultConfig::default()
+            });
+        assert_eq!(fp(&sc, ExecMode::Serial), fp(&sc, ExecMode::Sharded));
+    }
+
+    /// Unshardable protocols (gossip keeps cross-node handler state) force
+    /// the single-shard fallback; both drivers must then agree trivially.
+    #[test]
+    fn single_shard_protocols_fall_back_cleanly() {
+        let sc = Scenario::quick(ProtocolChoice::Newscast)
+            .nodes(80)
+            .hours(1)
+            .seed(15);
+        assert_eq!(fp(&sc, ExecMode::Serial), fp(&sc, ExecMode::Sharded));
     }
 }

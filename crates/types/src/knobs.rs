@@ -50,6 +50,18 @@ pub const KNOBS: &[Knob] = &[
         doc: "Next-hop router backend; scan recomputes the finger/greedy step every hop",
     },
     Knob {
+        name: "SOC_SIM_EXEC",
+        values: "serial | sharded",
+        default: "serial",
+        doc: "Windowed-executor driver; serial runs the shard windows inline, sharded runs them on worker threads (bitwise-identical)",
+    },
+    Knob {
+        name: "SOC_SIM_SHARDS",
+        values: "positive integer",
+        default: "min(8, LAN count)",
+        doc: "Shard-count override for the windowed executor; part of the simulated configuration, so it changes fingerprints (SOC_SIM_EXEC never does)",
+    },
+    Knob {
         name: "SOC_FAULT_DEFENSE",
         values: "off | on",
         default: "off",

@@ -19,7 +19,10 @@ use soc_types::{NodeId, ResVec, SimMillis};
 /// the RNG handed in; they must not draw randomness from anywhere else.
 /// A source that ignores the RNG entirely (trace replay) is valid: the
 /// runner guarantees the passed streams are consumed by no one else.
-pub trait WorkloadSource {
+///
+/// `Send` is required because the windowed executor may hand per-shard
+/// forks (see [`WorkloadSource::fork_shard`]) to worker threads.
+pub trait WorkloadSource: Send {
     /// Capacity vector for the next provisioned node (bootstrap fills ids
     /// in order, then one call per churn join).
     fn node_capacity(&mut self, rng: &mut SmallRng) -> ResVec;
@@ -35,5 +38,22 @@ pub trait WorkloadSource {
     /// `now`. Purely observational (trace capture); default no-op.
     fn note_churn(&mut self, now: SimMillis, left: Option<NodeId>, joined: Option<NodeId>) {
         let _ = (now, left, joined);
+    }
+
+    /// A per-shard fork for the windowed executor, or `None` to opt out
+    /// (the executor then forces a single shard, preserving serial
+    /// semantics exactly).
+    ///
+    /// Contract: the executor calls this once per shard *after* every
+    /// bootstrap [`WorkloadSource::node_capacity`] draw and before any
+    /// `next_delay`/`next_task`. Forks only ever serve `next_delay` and
+    /// `next_task` for nodes owned by their shard — `node_capacity` is
+    /// never called on a fork (capacity draws stay on the master at the
+    /// coordinator). Churn notifications are delivered to the master and
+    /// to every fork, always in shard-id order, so stateful sources see a
+    /// canonical sequence regardless of execution mode.
+    fn fork_shard(&mut self, shard: usize) -> Option<Box<dyn WorkloadSource>> {
+        let _ = shard;
+        None
     }
 }
